@@ -1,0 +1,79 @@
+"""Ablation — noise-model estimator vs success-rate estimator.
+
+Compares the two estimation modes (Section III-C) on speed and on how well
+they rank a set of candidate SubCircuits against the noisy-backend ground
+truth.
+"""
+
+import time
+
+import numpy as np
+
+from helpers import measured_metrics, print_table, small_task, train_model
+from repro.core import (
+    ConfigSampler,
+    EstimatorConfig,
+    PerformanceEstimator,
+    SamplerConfig,
+    SuperCircuit,
+    SuperTrainConfig,
+    get_design_space,
+    train_supercircuit_qml,
+)
+from repro.devices import get_device
+from repro.utils.stats import spearman_correlation
+
+N_CANDIDATES = 6
+
+
+def run_experiment():
+    dataset, encoder = small_task("mnist-4")
+    space = get_design_space("u3cu3")
+    device = get_device("yorktown")
+    supercircuit = SuperCircuit(space, 4, encoder=encoder, seed=0)
+    train_supercircuit_qml(supercircuit, dataset, 4,
+                           SuperTrainConfig(steps=40, batch_size=32, seed=0))
+    sampler = ConfigSampler(space, 4, SamplerConfig(progressive_shrink=False),
+                            rng=np.random.default_rng(3))
+    candidates = [sampler.sample() for _ in range(N_CANDIDATES)]
+
+    ground_truth = []
+    for config in candidates:
+        circuit, _ = supercircuit.build_standalone_circuit(config)
+        model, weights = train_model(circuit, dataset, 4, epochs=6)
+        ground_truth.append(
+            measured_metrics(model, weights, dataset, layout=(0, 1, 2, 3),
+                             max_samples=10)["loss"]
+        )
+
+    rows = []
+    for mode in ("noise_sim", "success_rate"):
+        estimator = PerformanceEstimator(
+            device, EstimatorConfig(mode=mode, n_valid_samples=6)
+        )
+        start = time.perf_counter()
+        predictions = []
+        for config in candidates:
+            circuit, _ = supercircuit.build_standalone_circuit(config)
+            weights = supercircuit.inherited_weights(config)
+            predictions.append(
+                estimator.estimate_qml(circuit, weights, dataset, 4,
+                                       layout=(0, 1, 2, 3))
+            )
+        elapsed = (time.perf_counter() - start) / N_CANDIDATES
+        correlation = spearman_correlation(np.array(predictions),
+                                           np.array(ground_truth))
+        rows.append([mode, elapsed, correlation])
+    return rows
+
+
+def test_ablation_estimator_modes(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        ["estimator mode", "seconds / candidate", "rank correlation vs measured"],
+        rows,
+        title="Ablation — noise-model vs success-rate estimator",
+    )
+    by_mode = {row[0]: row for row in rows}
+    # the success-rate estimator must be the faster of the two
+    assert by_mode["success_rate"][1] <= by_mode["noise_sim"][1]

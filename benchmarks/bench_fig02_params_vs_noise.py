@@ -1,0 +1,42 @@
+"""Fig. 2 — noise-free vs measured accuracy as the parameter count grows.
+
+More parameters raise the noise-free accuracy but add gates and therefore
+noise, so the measured accuracy peaks and then degrades.
+"""
+
+from helpers import print_table, small_task, train_model, measured_metrics
+from repro.baselines import build_human_circuit
+from repro.core import get_design_space
+from repro.qml import evaluate_noise_free
+
+PARAM_BUDGETS = [12, 24, 48, 96]
+
+
+def run_experiment():
+    dataset, encoder = small_task("mnist-4")
+    space = get_design_space("u3cu3")
+    rows = []
+    for budget in PARAM_BUDGETS:
+        circuit, config = build_human_circuit(space, 4, budget, encoder=encoder)
+        model, weights = train_model(circuit, dataset, 4)
+        noise_free = evaluate_noise_free(model, weights, dataset.x_test, dataset.y_test)
+        measured = measured_metrics(model, weights, dataset, "yorktown",
+                                    layout="noise_adaptive")
+        rows.append([
+            config.num_parameters(space),
+            noise_free["accuracy"],
+            measured["accuracy"],
+            noise_free["accuracy"] - measured["accuracy"],
+        ])
+    return rows
+
+
+def test_fig02_params_vs_noise(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        ["#params", "noise-free acc", "measured acc", "gap"],
+        rows,
+        title="Fig. 2 — MNIST-4 noise-free vs measured accuracy (IBMQ-Yorktown)",
+    )
+    # the noise gap should widen as circuits get bigger
+    assert rows[-1][3] >= rows[0][3] - 0.15

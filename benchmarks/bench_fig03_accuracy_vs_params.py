@@ -1,0 +1,40 @@
+"""Fig. 3 — measured accuracy vs #parameters for different design methods.
+
+Baseline designs saturate and then drop as parameters (and noise) grow, while
+the noise-adaptive search finds circuits that stay useful at larger sizes.
+"""
+
+from helpers import (
+    baseline_measured_accuracy,
+    print_table,
+    run_quantumnas_qml,
+)
+from repro.core import get_design_space
+
+BUDGETS = [24, 72]
+
+
+def run_experiment():
+    rows = []
+    for budget in BUDGETS:
+        human = baseline_measured_accuracy("human", "u3cu3", "mnist-4", budget)
+        random_ = baseline_measured_accuracy("random", "u3cu3", "mnist-4", budget)
+        rows.append([budget, "human", human["accuracy"]])
+        rows.append([budget, "random", random_["accuracy"]])
+    nas = run_quantumnas_qml("u3cu3", "mnist-4", "yorktown")
+    nas_params = nas.best_config.num_parameters(get_design_space("u3cu3"))
+    rows.append([nas_params, "quantumnas", nas.measured["accuracy"]])
+    return rows
+
+
+def test_fig03_accuracy_vs_params(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        ["#params", "method", "measured acc"],
+        rows,
+        title="Fig. 3 — measured accuracy vs #parameters (MNIST-4, Yorktown)",
+    )
+    best_baseline = max(r[2] for r in rows if r[1] != "quantumnas")
+    nas_acc = [r[2] for r in rows if r[1] == "quantumnas"][0]
+    # QuantumNAS should be competitive with the best baseline point
+    assert nas_acc >= best_baseline - 0.2

@@ -1,0 +1,63 @@
+"""Fig. 10 — the performance estimator's predicted loss tracks the loss
+measured on the (noisy) device for trained SubCircuits.
+"""
+
+import numpy as np
+
+from helpers import measured_metrics, print_table, small_task, train_model
+from repro.core import (
+    ConfigSampler,
+    EstimatorConfig,
+    PerformanceEstimator,
+    SamplerConfig,
+    SuperCircuit,
+    SuperTrainConfig,
+    get_design_space,
+    train_supercircuit_qml,
+)
+from repro.devices import get_device
+from repro.utils.stats import spearman_correlation
+
+N_SUBCIRCUITS = 8
+
+
+def run_experiment():
+    dataset, encoder = small_task("mnist-4")
+    space = get_design_space("u3cu3")
+    device = get_device("yorktown")
+    supercircuit = SuperCircuit(space, 4, encoder=encoder, seed=0)
+    train_supercircuit_qml(supercircuit, dataset, 4,
+                           SuperTrainConfig(steps=60, batch_size=32, seed=0))
+    estimator = PerformanceEstimator(
+        device, EstimatorConfig(mode="success_rate", n_valid_samples=12)
+    )
+    sampler = ConfigSampler(space, 4, SamplerConfig(progressive_shrink=False),
+                            rng=np.random.default_rng(2))
+    predicted, real = [], []
+    for _ in range(N_SUBCIRCUITS):
+        config = sampler.sample()
+        circuit, _ = supercircuit.build_standalone_circuit(config)
+        inherited = supercircuit.inherited_weights(config)
+        predicted.append(
+            estimator.estimate_qml(circuit, inherited, dataset, 4, layout=(0, 1, 2, 3))
+        )
+        model, weights = train_model(circuit, dataset, 4, epochs=8)
+        measured = measured_metrics(model, weights, dataset, "yorktown",
+                                    layout=(0, 1, 2, 3), max_samples=10)
+        real.append(measured["loss"])
+    correlation = spearman_correlation(np.array(predicted), np.array(real))
+    return predicted, real, correlation
+
+
+def test_fig10_estimator_reliability(benchmark):
+    predicted, real, correlation = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    rows = [[i, p, r] for i, (p, r) in enumerate(zip(predicted, real))]
+    rows.append(["spearman", correlation, ""])
+    print_table(
+        ["subcircuit", "estimator loss", "measured loss on device"],
+        rows,
+        title="Fig. 10 — estimator reliability (MNIST-4, U3+CU3, Yorktown)",
+    )
+    assert np.isfinite(correlation)

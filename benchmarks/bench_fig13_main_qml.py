@@ -1,0 +1,54 @@
+"""Fig. 13 — main QML comparison on IBMQ-Yorktown.
+
+Measured accuracy of QuantumNAS (with and without pruning) against the
+noise-unaware search, random generation and human-design baselines, in the
+U3+CU3 design space on MNIST-4 (scaled down from the paper's 5 tasks x 6
+spaces).
+"""
+
+from helpers import (
+    baseline_measured_accuracy,
+    print_table,
+    run_quantumnas_qml,
+)
+from repro.core import get_design_space
+
+SPACE = "u3cu3"
+TASK = "mnist-4"
+
+
+def run_experiment():
+    nas = run_quantumnas_qml(SPACE, TASK, "yorktown", pruning_ratio=0.3)
+    n_params = nas.best_config.num_parameters(get_design_space(SPACE))
+    noise_unaware = run_quantumnas_qml(SPACE, TASK, "yorktown",
+                                       estimator_mode="noise_free", seed=1)
+    human = baseline_measured_accuracy("human", SPACE, TASK, n_params,
+                                       layout="noise_adaptive")
+    human_naive = baseline_measured_accuracy("human", SPACE, TASK, n_params,
+                                             layout="trivial")
+    random_ = baseline_measured_accuracy("random", SPACE, TASK, n_params)
+
+    rows = [
+        ["noise-unaware search", noise_unaware.measured["accuracy"]],
+        ["random generated", random_["accuracy"]],
+        ["human design (naive mapping)", human_naive["accuracy"]],
+        ["human design (noise-adaptive mapping)", human["accuracy"]],
+        ["QuantumNAS", nas.measured["accuracy"]],
+    ]
+    if nas.measured_pruned is not None:
+        rows.append(["QuantumNAS + pruning", nas.measured_pruned["accuracy"]])
+    return rows
+
+
+def test_fig13_main_qml(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        ["method", "measured accuracy"],
+        rows,
+        title=f"Fig. 13 — {TASK} in {SPACE} space on IBMQ-Yorktown",
+    )
+    accuracies = dict((row[0], row[1]) for row in rows)
+    nas_best = max(v for k, v in accuracies.items() if k.startswith("QuantumNAS"))
+    # QuantumNAS should be at least competitive with every baseline
+    assert nas_best >= accuracies["noise-unaware search"] - 0.1
+    assert nas_best >= accuracies["human design (naive mapping)"] - 0.1

@@ -1,0 +1,81 @@
+"""Fig. 15 — scalability to larger devices/circuits.
+
+MNIST-10 (10 qubits) is searched and evaluated for the 15/16-qubit devices
+using the success-rate estimator path (the paper's large-circuit mode), showing
+the pipeline scales beyond the density-matrix regime.
+"""
+
+from helpers import print_table, train_model
+from repro.baselines import build_human_circuit
+from repro.core import (
+    EstimatorConfig,
+    EvolutionConfig,
+    PerformanceEstimator,
+    SubCircuitConfig,
+    SuperCircuit,
+    SuperTrainConfig,
+    get_design_space,
+    train_supercircuit_qml,
+    EvolutionEngine,
+)
+from repro.devices import QuantumBackend, get_device
+from repro.qml import encoder_for_task, evaluate_on_backend, load_task
+
+DEVICES = ["melbourne", "guadalupe"]
+TASK = "mnist-10"
+
+
+def run_experiment():
+    dataset = load_task(TASK, n_train=64, n_valid=24, n_test=24)
+    encoder = encoder_for_task(TASK)
+    space = get_design_space("u3cu3")
+    supercircuit = SuperCircuit(space, 10, encoder=encoder, seed=0)
+    train_supercircuit_qml(supercircuit, dataset, 10,
+                           SuperTrainConfig(steps=20, batch_size=16, seed=0))
+    rows = []
+    for name in DEVICES:
+        device = get_device(name)
+        estimator = PerformanceEstimator(
+            device, EstimatorConfig(mode="success_rate", n_valid_samples=8)
+        )
+        engine = EvolutionEngine(
+            space, 10, device,
+            EvolutionConfig(iterations=3, population_size=8, parent_size=3,
+                            mutation_size=3, crossover_size=2, seed=0),
+        )
+
+        def score(config, mapping):
+            circuit, _ = supercircuit.build_standalone_circuit(config)
+            weights = supercircuit.inherited_weights(config)
+            return estimator.estimate_qml(circuit, weights, dataset, 10,
+                                          layout=mapping)
+
+        search = engine.search(score)
+        circuit, _ = supercircuit.build_standalone_circuit(search.best.config)
+        model, weights = train_model(circuit, dataset, 10, epochs=6)
+        backend = QuantumBackend(device, shots=0, seed=0, max_density_qubits=6)
+        nas = evaluate_on_backend(model, weights, dataset.x_test, dataset.y_test,
+                                  backend, initial_layout=search.best.mapping,
+                                  max_samples=8)
+
+        n_params = search.best.config.num_parameters(space)
+        human_circuit, _cfg = build_human_circuit(space, 10, n_params,
+                                                  encoder=encoder)
+        human_model, human_weights = train_model(human_circuit, dataset, 10,
+                                                 epochs=6)
+        human = evaluate_on_backend(human_model, human_weights, dataset.x_test,
+                                    dataset.y_test, backend,
+                                    initial_layout="noise_adaptive", max_samples=8)
+        rows.append([name, device.n_qubits, n_params, human["accuracy"],
+                     nas["accuracy"]])
+    return rows
+
+
+def test_fig15_scalability(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        ["device", "#qubits", "#params", "human acc", "QuantumNAS acc"],
+        rows,
+        title="Fig. 15 — MNIST-10 on larger devices (success-rate estimator)",
+    )
+    assert all(0.0 <= row[4] <= 1.0 for row in rows)

@@ -1,0 +1,65 @@
+"""Fig. 17 — H2 VQE expectation values across design spaces vs the UCCSD
+baseline, measured on the noisy IBMQ-Yorktown model.
+"""
+
+from helpers import print_table
+from repro.core import (
+    EstimatorConfig,
+    EvolutionConfig,
+    QuantumNASVQEPipeline,
+    SuperTrainConfig,
+    VQEPipelineConfig,
+    get_design_space,
+)
+from repro.devices import QuantumBackend, get_device
+from repro.vqe import VQEConfig, VQEModel, build_uccsd_ansatz, load_molecule
+
+SPACES = ["u3cu3", "zzry"]
+
+
+def _pipeline_config() -> VQEPipelineConfig:
+    return VQEPipelineConfig(
+        super_train=SuperTrainConfig(steps=50, batch_size=1, learning_rate=0.05,
+                                     seed=0),
+        evolution=EvolutionConfig(iterations=4, population_size=8, parent_size=3,
+                                  mutation_size=3, crossover_size=2, seed=0),
+        estimator=EstimatorConfig(mode="noise_sim", n_valid_samples=1),
+        vqe_train=VQEConfig(steps=150, learning_rate=0.05, seed=0),
+        pruning_ratio=0.5,
+        eval_shots=0,
+        seed=0,
+    )
+
+
+def run_experiment():
+    molecule = load_molecule("h2")
+    device = get_device("yorktown")
+
+    uccsd = VQEModel(build_uccsd_ansatz(2), molecule)
+    uccsd_trained = uccsd.train(VQEConfig(steps=150, learning_rate=0.05, seed=0))
+    backend = QuantumBackend(device, shots=0, seed=0)
+    uccsd_energy = uccsd.measure_energy(uccsd_trained.weights, backend,
+                                        initial_layout="noise_adaptive")
+
+    rows = [["uccsd (baseline)", uccsd_energy, ""]]
+    for space_name in SPACES:
+        pipeline = QuantumNASVQEPipeline(get_design_space(space_name), molecule,
+                                         device, config=_pipeline_config())
+        result = pipeline.run()
+        pruned = result.measured_energy_pruned
+        rows.append([f"quantumnas ({space_name})", result.measured_energy,
+                     pruned if pruned is not None else ""])
+    rows.append(["exact ground state", molecule.ground_energy, ""])
+    return rows, uccsd_energy
+
+
+def test_fig17_vqe_h2(benchmark):
+    rows, uccsd_energy = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        ["method", "measured energy", "measured energy (pruned)"],
+        rows,
+        title="Fig. 17 — H2 VQE expectation value on IBMQ-Yorktown (lower is better)",
+    )
+    nas_energies = [row[1] for row in rows if str(row[0]).startswith("quantumnas")]
+    # the searched ansatz should not be worse than the deep UCCSD baseline
+    assert min(nas_energies) <= uccsd_energy + 0.3

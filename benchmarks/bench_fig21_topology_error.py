@@ -1,0 +1,48 @@
+"""Fig. 21 — effect of qubit topology, error rate and qubit mapping on the
+measured accuracy of the same trained circuit.
+"""
+
+from helpers import measured_metrics, print_table, small_task, train_model
+from repro.baselines import build_human_circuit
+from repro.core import get_design_space
+from repro.devices import get_device
+
+DEVICES = ["santiago", "rome", "athens", "lima", "belem", "quito", "yorktown"]
+TASK = "mnist-4"
+
+
+def run_experiment():
+    dataset, encoder = small_task(TASK)
+    space = get_design_space("u3cu3")
+    circuit, _config = build_human_circuit(space, 4, 24, encoder=encoder)
+    model, weights = train_model(circuit, dataset, 4)
+    rows = []
+    for name in DEVICES:
+        device = get_device(name)
+        summary = device.error_summary()
+        naive = measured_metrics(model, weights, dataset, layout="trivial",
+                                 device=device)
+        searched = measured_metrics(model, weights, dataset,
+                                    layout="noise_adaptive", device=device)
+        rows.append([
+            name,
+            device.topology.name.split("-")[-1],
+            summary["two_qubit_error"],
+            summary["readout_error"],
+            naive["accuracy"],
+            searched["accuracy"],
+        ])
+    return rows
+
+
+def test_fig21_topology_error(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        ["device", "topology", "cx error", "readout error",
+         "acc (naive mapping)", "acc (noise-adaptive mapping)"],
+        rows,
+        title="Fig. 21 — topology / error rate / mapping effects (MNIST-4)",
+    )
+    by_name = {row[0]: row for row in rows}
+    # lower error rate (santiago) should beat the noisiest device (yorktown)
+    assert by_name["santiago"][5] >= by_name["yorktown"][5] - 0.1

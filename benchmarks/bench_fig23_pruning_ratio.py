@@ -1,0 +1,44 @@
+"""Fig. 23 — measured accuracy as a function of the final pruning ratio."""
+
+from helpers import measured_metrics, print_table, small_task, train_model
+from repro.baselines import build_human_circuit
+from repro.core import get_design_space, iterative_prune_qnn
+from repro.qml import TrainConfig
+
+TASK = "fashion-2"
+RATIOS = [0.0, 0.2, 0.4]
+
+
+def run_experiment():
+    dataset, encoder = small_task(TASK)
+    space = get_design_space("u3cu3")
+    circuit, _config = build_human_circuit(space, 4, 48, encoder=encoder)
+    model, weights = train_model(circuit, dataset, 2)
+    train_config = TrainConfig(epochs=4, batch_size=32, learning_rate=0.02, seed=0)
+    rows = []
+    for ratio in RATIOS:
+        if ratio == 0.0:
+            pruned_weights = weights
+        else:
+            pruning = iterative_prune_qnn(
+                model, weights, dataset, final_ratio=ratio, n_stages=2,
+                finetune_epochs=3, train_config=train_config,
+            )
+            pruned_weights = pruning.weights
+        measured = measured_metrics(model, pruned_weights, dataset,
+                                    layout="noise_adaptive")
+        rows.append([f"{int(ratio * 100)}%", measured["accuracy"],
+                     measured["loss"]])
+    return rows
+
+
+def test_fig23_pruning_ratio(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        ["final pruning ratio", "measured accuracy", "measured loss"],
+        rows,
+        title=f"Fig. 23 — pruning-ratio sweep ({TASK}, U3+CU3, Yorktown)",
+    )
+    accuracies = [row[1] for row in rows]
+    # moderate pruning should not collapse the accuracy
+    assert max(accuracies[1:]) >= accuracies[0] - 0.2

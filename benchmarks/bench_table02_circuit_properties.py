@@ -1,0 +1,72 @@
+"""Table II — compiled circuit properties (depth, gate counts, parameters,
+measured accuracy) for QuantumNAS, the pruned circuit and the human baseline.
+"""
+
+import numpy as np
+
+from helpers import (
+    print_table,
+    run_quantumnas_qml,
+    small_task,
+    train_model,
+    measured_metrics,
+)
+from repro.baselines import build_human_circuit
+from repro.core import get_design_space
+from repro.devices import get_device
+from repro.transpile import transpile
+
+SPACE = "u3cu3"
+TASK = "fashion-2"
+
+
+def _compiled_row(name, circuit, weights, dataset, accuracy, device, layout):
+    bound = circuit.bind(weights, dataset.x_test[0])
+    compiled = transpile(bound, device, initial_layout=layout, optimization_level=2)
+    n_params = int(np.count_nonzero(weights))
+    return [name, compiled.depth, compiled.num_gates,
+            compiled.num_single_qubit_gates, compiled.num_two_qubit_gates,
+            n_params, accuracy]
+
+
+def run_experiment():
+    device = get_device("yorktown")
+    dataset, encoder = small_task(TASK)
+    space = get_design_space(SPACE)
+
+    nas = run_quantumnas_qml(SPACE, TASK, "yorktown", pruning_ratio=0.3)
+    n_params = nas.best_config.num_parameters(space)
+
+    human_circuit, _cfg = build_human_circuit(space, 4, n_params, encoder=encoder)
+    human_model, human_weights = train_model(human_circuit, dataset, 2)
+    human_measured = measured_metrics(human_model, human_weights, dataset,
+                                      "yorktown", layout="noise_adaptive")
+
+    rows = [
+        _compiled_row("human design", human_circuit, human_weights, dataset,
+                      human_measured["accuracy"], device, "noise_adaptive"),
+        _compiled_row("QuantumNAS", nas.model.circuit, nas.weights, dataset,
+                      nas.measured["accuracy"], device, nas.best_mapping),
+    ]
+    if nas.pruning is not None and nas.measured_pruned is not None:
+        rows.append(
+            _compiled_row("QuantumNAS + pruning", nas.model.circuit,
+                          nas.pruning.weights, dataset,
+                          nas.measured_pruned["accuracy"], device,
+                          nas.best_mapping)
+        )
+    return rows
+
+
+def test_table02_circuit_properties(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        ["design", "depth", "#gates", "#1Q", "#2Q", "#params (non-zero)",
+         "measured acc"],
+        rows,
+        title=f"Table II — compiled circuit properties ({TASK}, {SPACE}, Yorktown)",
+    )
+    if len(rows) == 3:
+        # pruning removes parameters and should not add gates
+        assert rows[2][5] <= rows[1][5]
+        assert rows[2][2] <= rows[1][2] + 2

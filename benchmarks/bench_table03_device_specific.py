@@ -1,0 +1,39 @@
+"""Table III — device-specific circuits: the circuit searched for a device
+performs best when run on that device.
+"""
+
+from helpers import measured_metrics, print_table, run_quantumnas_qml, small_task
+from repro.devices import get_device
+
+DEVICES = ["yorktown", "santiago"]
+TASK = "fashion-4"
+
+
+def run_experiment():
+    dataset, _encoder = small_task(TASK)
+    results = {name: run_quantumnas_qml("u3cu3", TASK, device_name=name)
+               for name in DEVICES}
+    rows = []
+    for run_on in DEVICES:
+        row = [run_on]
+        device = get_device(run_on)
+        for searched_for in DEVICES:
+            result = results[searched_for]
+            metrics = measured_metrics(result.model, result.weights, dataset,
+                                       layout=result.best_mapping, device=device)
+            row.append(metrics["accuracy"])
+        rows.append(row)
+    return rows
+
+
+def test_table03_device_specific(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        ["run on \\ searched for"] + DEVICES,
+        rows,
+        title=f"Table III — device-specific circuits ({TASK}, U3+CU3)",
+    )
+    # diagonal entries (matched search/run device) should be competitive
+    for index, row in enumerate(rows):
+        matched = row[index + 1]
+        assert matched >= min(row[1:]) - 0.1

@@ -1,0 +1,57 @@
+"""Table IV — searching with the noise-model estimator vs evaluating candidates
+on the (shot-based) device itself, at compiler optimization levels 2 and 3.
+"""
+
+from helpers import (
+    fast_pipeline_config,
+    measured_metrics,
+    print_table,
+    small_task,
+)
+from repro.core import QuantumNASQMLPipeline, get_design_space
+from repro.devices import get_device
+
+TASK = "fashion-4"
+DEVICE = "belem"
+
+
+def _run(mode: str, optimization_level: int):
+    dataset, encoder = small_task(TASK)
+    config = fast_pipeline_config(estimator_mode=mode)
+    config.estimator.optimization_level = optimization_level
+    config.estimator.shots = 512
+    config.estimator.n_valid_samples = 4
+    config.evolution.iterations = 3
+    config.evolution.population_size = 6
+    config.evolution.parent_size = 2
+    config.evolution.mutation_size = 2
+    config.evolution.crossover_size = 2
+    pipeline = QuantumNASQMLPipeline(
+        get_design_space("u3cu3"), dataset, dataset.n_classes,
+        get_device(DEVICE), encoder, config=config,
+    )
+    result = pipeline.run()
+    return result.measured["accuracy"]
+
+
+def run_experiment():
+    rows = []
+    for optimization_level in (2, 3):
+        estimator_acc = _run("success_rate", optimization_level)
+        real_qc_acc = _run("real_qc", optimization_level)
+        rows.append([optimization_level, estimator_acc, real_qc_acc])
+    return rows
+
+
+def test_table04_estimator_vs_real(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        ["optimization level", "search with estimator (acc)",
+         "search with real QC in the loop (acc)"],
+        rows,
+        title=f"Table IV — estimator vs real-QC search ({TASK}, {DEVICE})",
+    )
+    for row in rows:
+        # searching with the estimator should be about as good as searching on
+        # the device itself (the paper's conclusion)
+        assert abs(row[1] - row[2]) < 0.45

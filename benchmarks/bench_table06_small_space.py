@@ -1,0 +1,63 @@
+"""Table VI — searching in a small/shallow space vs the full QuantumNAS space.
+
+Shallow circuits carry less noise but also less capacity; QuantumNAS's larger
+space lets the search trade the two off and find deeper-but-better circuits.
+"""
+
+import numpy as np
+
+from helpers import (
+    measured_metrics,
+    print_table,
+    run_quantumnas_qml,
+    small_task,
+    train_model,
+)
+from repro.core import SubCircuitConfig, SuperCircuit, get_design_space
+from repro.devices import get_device
+from repro.transpile import transpile
+
+DEVICES = ["santiago", "yorktown"]
+TASK = "mnist-4"
+
+
+def _shallow_result(dataset, encoder, device_name):
+    """A single full-width block (the 'shallow space' baseline)."""
+    space = get_design_space("u3cu3")
+    supercircuit = SuperCircuit(space, 4, encoder=encoder, seed=0)
+    config = SubCircuitConfig.full(space, 4, n_blocks=1)
+    circuit, _ = supercircuit.build_standalone_circuit(config)
+    model, weights = train_model(circuit, dataset, 4)
+    metrics = measured_metrics(model, weights, dataset, device_name,
+                               layout="noise_adaptive")
+    compiled = transpile(circuit.bind(weights, dataset.x_test[0]),
+                         get_device(device_name),
+                         initial_layout="noise_adaptive")
+    return compiled.depth, metrics["accuracy"]
+
+
+def run_experiment():
+    dataset, encoder = small_task(TASK)
+    rows = []
+    for device_name in DEVICES:
+        shallow_depth, shallow_acc = _shallow_result(dataset, encoder, device_name)
+        nas = run_quantumnas_qml("u3cu3", TASK, device_name=device_name)
+        compiled = transpile(
+            nas.model.circuit.bind(nas.weights, dataset.x_test[0]),
+            get_device(device_name), initial_layout=nas.best_mapping,
+        )
+        rows.append([device_name, shallow_depth, shallow_acc,
+                     compiled.depth, nas.measured["accuracy"]])
+    return rows
+
+
+def test_table06_small_space(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        ["device", "shallow depth", "shallow acc", "QuantumNAS depth",
+         "QuantumNAS acc"],
+        rows,
+        title=f"Table VI — shallow space vs QuantumNAS ({TASK}, U3+CU3)",
+    )
+    for row in rows:
+        assert row[4] >= row[2] - 0.25

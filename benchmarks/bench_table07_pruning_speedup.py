@@ -1,0 +1,55 @@
+"""Table VII — pruning also speeds up classical simulation of the circuit
+(fewer compiled gates means fewer tensor contractions per run).
+"""
+
+import time
+
+import numpy as np
+
+from helpers import print_table, small_task
+from repro.baselines import build_human_circuit
+from repro.core import get_design_space, prune_mask
+from repro.devices import get_device
+from repro.quantum.statevector import run_circuit
+from repro.transpile import transpile
+
+RATIOS = [0.0, 0.3, 0.6, 0.9]
+REPEATS = 20
+
+
+def run_experiment():
+    dataset, encoder = small_task("mnist-4")
+    space = get_design_space("u3cu3")
+    circuit, _config = build_human_circuit(space, 4, 96, encoder=encoder)
+    rng = np.random.default_rng(0)
+    weights = circuit.init_weights(rng)
+    device = get_device("yorktown")
+    rows = []
+    baseline_time = None
+    for ratio in RATIOS:
+        keep = prune_mask(weights, np.ones_like(weights, dtype=bool), ratio)
+        pruned_weights = np.where(keep, weights, 0.0)
+        compiled = transpile(circuit.bind(pruned_weights, dataset.x_test[0]),
+                             device, initial_layout="trivial")
+        reduced, _used = compiled.reduced_circuit()
+        start = time.perf_counter()
+        for _ in range(REPEATS):
+            run_circuit(reduced)
+        elapsed = (time.perf_counter() - start) / REPEATS
+        if baseline_time is None:
+            baseline_time = elapsed
+        rows.append([f"{int(ratio * 100)}%", compiled.num_gates, elapsed,
+                     1.0 - elapsed / baseline_time])
+    return rows
+
+
+def test_table07_pruning_speedup(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        ["pruning ratio", "compiled gates", "simulation time (s)", "speedup"],
+        rows,
+        title="Table VII — simulation speedup from pruning",
+    )
+    # more pruning -> fewer compiled gates
+    gates = [row[1] for row in rows]
+    assert gates[-1] < gates[0]

@@ -1,0 +1,12 @@
+"""Benchmark-harness configuration.
+
+Each benchmark is a single expensive experiment; pytest-benchmark is configured
+through ``benchmark.pedantic(..., rounds=1, iterations=1)`` inside the tests so
+experiments are not repeated.
+"""
+
+import sys
+from pathlib import Path
+
+# make `helpers` importable when pytest is run from the repository root
+sys.path.insert(0, str(Path(__file__).parent))

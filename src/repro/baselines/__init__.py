@@ -1,0 +1,14 @@
+"""Baseline circuit designs and search strategies from the paper's evaluation."""
+
+from .human import build_human_circuit, human_design_config
+from .noise_unaware import noise_unaware_qml_pipeline, noise_unaware_vqe_pipeline
+from .random_circuit import build_random_circuit, random_design_config
+
+__all__ = [
+    "build_human_circuit",
+    "human_design_config",
+    "noise_unaware_qml_pipeline",
+    "noise_unaware_vqe_pipeline",
+    "build_random_circuit",
+    "random_design_config",
+]

@@ -1,0 +1,85 @@
+"""Human-designed baseline circuits.
+
+The paper's "human design" baselines stack full-width blocks from the front of
+each design space; the last layer may be partially filled so the total number
+of parameters matches the QuantumNAS-searched circuit (Section IV,
+"Baselines").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.design_space import DesignSpace
+from ..core.subcircuit import SubCircuitConfig
+from ..core.supercircuit import SuperCircuit
+from ..qml.encoders import EncoderSpec
+from ..quantum.circuit import ParameterizedCircuit
+
+__all__ = ["human_design_config", "build_human_circuit"]
+
+
+def human_design_config(
+    space: DesignSpace, n_qubits: int, n_parameters: int
+) -> SubCircuitConfig:
+    """The human-design configuration with (approximately) ``n_parameters``.
+
+    Blocks are filled front-to-back at full width; inside the last partially
+    filled block, layers are filled front-to-front until the parameter budget
+    is reached.
+    """
+    if n_parameters < 1:
+        raise ValueError("n_parameters must be positive")
+    max_widths = space.max_widths(n_qubits)
+    widths: List[List[int]] = [
+        [space.min_width] * space.n_layers for _ in range(space.max_blocks)
+    ]
+    remaining = n_parameters
+    n_blocks = 1
+    # Start from an all-minimum configuration and account for its parameters.
+    for block in range(space.max_blocks):
+        for layer_index, layer in enumerate(space.layers):
+            if block == 0:
+                remaining -= space.min_width * layer.params_per_gate
+
+    for block in range(space.max_blocks):
+        if block > 0 and remaining > 0:
+            # opening a new block costs its minimum-width parameters
+            base_cost = sum(
+                space.min_width * layer.params_per_gate for layer in space.layers
+            )
+            if remaining < max(base_cost, 1):
+                break
+            remaining -= base_cost
+            n_blocks = block + 1
+        for layer_index, layer in enumerate(space.layers):
+            per_gate = layer.params_per_gate
+            while (
+                widths[block][layer_index] < max_widths[layer_index]
+                and (per_gate == 0 or remaining >= per_gate)
+            ):
+                widths[block][layer_index] += 1
+                remaining -= per_gate
+                if per_gate == 0 and widths[block][layer_index] >= max_widths[layer_index]:
+                    break
+            if per_gate == 0:
+                widths[block][layer_index] = max_widths[layer_index]
+        if remaining <= 0:
+            n_blocks = block + 1
+            break
+        n_blocks = block + 1
+    return SubCircuitConfig(n_blocks, tuple(tuple(row) for row in widths))
+
+
+def build_human_circuit(
+    space: DesignSpace,
+    n_qubits: int,
+    n_parameters: int,
+    encoder: Optional[EncoderSpec] = None,
+    seed: int = 0,
+) -> Tuple[ParameterizedCircuit, SubCircuitConfig]:
+    """Build the human baseline circuit as a standalone parameterized circuit."""
+    supercircuit = SuperCircuit(space, n_qubits, encoder=encoder, seed=seed)
+    config = human_design_config(space, n_qubits, n_parameters)
+    circuit, _mapping = supercircuit.build_standalone_circuit(config)
+    return circuit, config

@@ -1,0 +1,52 @@
+"""Noise-unaware search baseline.
+
+Identical to the QuantumNAS co-search except that the performance estimator
+ignores device noise (noise-free simulation only), so the search happily picks
+deep, high-capacity circuits that fall apart on hardware — the paper's
+"Noise-Unaware Searched" baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.estimator import EstimatorConfig
+from ..core.pipeline import (
+    QMLPipelineConfig,
+    QuantumNASQMLPipeline,
+    QuantumNASVQEPipeline,
+    VQEPipelineConfig,
+)
+
+__all__ = ["noise_unaware_qml_pipeline", "noise_unaware_vqe_pipeline"]
+
+
+def _noise_free_estimator(config: EstimatorConfig) -> EstimatorConfig:
+    return EstimatorConfig(
+        mode="noise_free",
+        optimization_level=config.optimization_level,
+        max_density_qubits=config.max_density_qubits,
+        n_valid_samples=config.n_valid_samples,
+        shots=config.shots,
+        seed=config.seed,
+    )
+
+
+def noise_unaware_qml_pipeline(
+    space, dataset, n_classes, device, encoder, config: Optional[QMLPipelineConfig] = None
+) -> QuantumNASQMLPipeline:
+    """A QML pipeline whose search is blind to noise."""
+    config = config or QMLPipelineConfig()
+    config.estimator = _noise_free_estimator(config.estimator)
+    return QuantumNASQMLPipeline(
+        space, dataset, n_classes, device, encoder, config=config
+    )
+
+
+def noise_unaware_vqe_pipeline(
+    space, molecule, device, config: Optional[VQEPipelineConfig] = None
+) -> QuantumNASVQEPipeline:
+    """A VQE pipeline whose search is blind to noise."""
+    config = config or VQEPipelineConfig()
+    config.estimator = _noise_free_estimator(config.estimator)
+    return QuantumNASVQEPipeline(space, molecule, device, config=config)

@@ -1,0 +1,71 @@
+"""Randomly generated baseline circuits.
+
+The paper's "random generation" baseline draws random circuits from the same
+gate set, constrained to the same number of parameters as the QuantumNAS
+searched circuit; three random circuits are generated and the best is kept.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.design_space import DesignSpace
+from ..core.subcircuit import SubCircuitConfig
+from ..core.supercircuit import SuperCircuit
+from ..qml.encoders import EncoderSpec
+from ..quantum.circuit import ParameterizedCircuit
+from ..utils.rng import ensure_rng
+
+__all__ = ["random_design_config", "build_random_circuit"]
+
+
+def random_design_config(
+    space: DesignSpace,
+    n_qubits: int,
+    n_parameters: int,
+    rng=None,
+    max_attempts: int = 200,
+    tolerance: int = 2,
+) -> SubCircuitConfig:
+    """A random configuration whose parameter count is close to the target.
+
+    Configurations are sampled uniformly; the one whose parameter count is
+    closest to ``n_parameters`` (within ``tolerance`` if possible) is returned.
+    """
+    rng = ensure_rng(rng)
+    max_widths = space.max_widths(n_qubits)
+    best: Optional[SubCircuitConfig] = None
+    best_gap = float("inf")
+    for _attempt in range(max_attempts):
+        n_blocks = int(rng.integers(1, space.max_blocks + 1))
+        widths = tuple(
+            tuple(
+                int(rng.integers(space.min_width, w + 1)) for w in max_widths
+            )
+            for _ in range(space.max_blocks)
+        )
+        config = SubCircuitConfig(n_blocks, widths)
+        gap = abs(config.num_parameters(space) - n_parameters)
+        if gap < best_gap:
+            best, best_gap = config, gap
+        if gap <= tolerance:
+            break
+    assert best is not None
+    return best
+
+
+def build_random_circuit(
+    space: DesignSpace,
+    n_qubits: int,
+    n_parameters: int,
+    encoder: Optional[EncoderSpec] = None,
+    seed: int = 0,
+) -> Tuple[ParameterizedCircuit, SubCircuitConfig]:
+    """Build a random baseline circuit with roughly ``n_parameters`` parameters."""
+    rng = ensure_rng(seed)
+    supercircuit = SuperCircuit(space, n_qubits, encoder=encoder, seed=seed)
+    config = random_design_config(space, n_qubits, n_parameters, rng=rng)
+    circuit, _mapping = supercircuit.build_standalone_circuit(config)
+    return circuit, config

@@ -1,0 +1,82 @@
+"""QuantumNAS core: design spaces, SuperCircuit, co-search, pruning, pipeline."""
+
+from .design_space import (
+    DESIGN_SPACES,
+    DesignSpace,
+    LayerSpec,
+    available_design_spaces,
+    get_design_space,
+)
+from .estimator import EstimatorConfig, PerformanceEstimator
+from .evolution import (
+    Candidate,
+    EvolutionConfig,
+    EvolutionEngine,
+    EvolutionResult,
+    random_search,
+)
+from .pipeline import (
+    QMLPipelineConfig,
+    QMLPipelineResult,
+    QuantumNASQMLPipeline,
+    QuantumNASVQEPipeline,
+    VQEPipelineConfig,
+    VQEPipelineResult,
+)
+from .pruning import (
+    PruningResult,
+    iterative_prune_qnn,
+    iterative_prune_vqe,
+    normalized_angles,
+    polynomial_ratio,
+    prune_mask,
+)
+from .sampler import ConfigSampler, SamplerConfig
+from .subcircuit import SubCircuitConfig
+from .supercircuit import GateSlot, SuperCircuit
+from .trainer import (
+    SuperTrainConfig,
+    SuperTrainResult,
+    train_subcircuit_qml,
+    train_subcircuit_vqe,
+    train_supercircuit_qml,
+    train_supercircuit_vqe,
+)
+
+__all__ = [
+    "DESIGN_SPACES",
+    "DesignSpace",
+    "LayerSpec",
+    "available_design_spaces",
+    "get_design_space",
+    "EstimatorConfig",
+    "PerformanceEstimator",
+    "Candidate",
+    "EvolutionConfig",
+    "EvolutionEngine",
+    "EvolutionResult",
+    "random_search",
+    "QMLPipelineConfig",
+    "QMLPipelineResult",
+    "QuantumNASQMLPipeline",
+    "QuantumNASVQEPipeline",
+    "VQEPipelineConfig",
+    "VQEPipelineResult",
+    "PruningResult",
+    "iterative_prune_qnn",
+    "iterative_prune_vqe",
+    "normalized_angles",
+    "polynomial_ratio",
+    "prune_mask",
+    "ConfigSampler",
+    "SamplerConfig",
+    "SubCircuitConfig",
+    "GateSlot",
+    "SuperCircuit",
+    "SuperTrainConfig",
+    "SuperTrainResult",
+    "train_subcircuit_qml",
+    "train_subcircuit_vqe",
+    "train_supercircuit_qml",
+    "train_supercircuit_vqe",
+]

@@ -1,0 +1,197 @@
+"""Circuit design spaces.
+
+A design space defines the *largest* circuit QuantumNAS may search over: a
+repeated block of gate layers (Section IV "Circuit Design Spaces").  The
+SuperCircuit is the circuit with every block and every gate present; a
+SubCircuit keeps only a prefix (front sampling) of blocks and of gates inside
+each layer.
+
+The six spaces from the paper are registered here:
+
+1. ``u3cu3``          — U3 layer + CU3 ring layer (8 blocks)
+2. ``zzry``           — ZZ ring layer + RY layer (8 blocks)
+3. ``rxyz``           — RX, RY, RZ, CZ layers with a sqrt(H) prefix (8 blocks)
+4. ``zxxx``           — ZX ring + XX ring layers (8 blocks)
+5. ``rxyz_u1_cu3``    — the 11-layer random-basis space (4 blocks)
+6. ``ibmq_basis``     — RZ, X, RZ, SX, RZ, CNOT layers (20 blocks, no front sampling)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..quantum.gates import gate_num_params, gate_num_qubits
+
+__all__ = ["LayerSpec", "DesignSpace", "DESIGN_SPACES", "get_design_space",
+           "available_design_spaces"]
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer of a block: a gate type applied across the register.
+
+    ``arrangement`` is ``"single"`` (one gate per qubit) or ``"ring"`` (gates
+    on the ring pairs ``(0,1), (1,2), ..., (n-1,0)``).
+    """
+
+    gate: str
+    arrangement: str = "single"
+
+    def __post_init__(self) -> None:
+        if self.arrangement not in ("single", "ring"):
+            raise ValueError(f"invalid arrangement '{self.arrangement}'")
+        expected = 1 if self.arrangement == "single" else 2
+        if gate_num_qubits(self.gate) != expected:
+            raise ValueError(
+                f"gate '{self.gate}' has {gate_num_qubits(self.gate)} qubits but "
+                f"arrangement '{self.arrangement}' requires {expected}"
+            )
+
+    @property
+    def params_per_gate(self) -> int:
+        return gate_num_params(self.gate)
+
+    def positions(self, n_qubits: int) -> List[Tuple[int, ...]]:
+        """All gate positions of this layer at full width."""
+        if self.arrangement == "single":
+            return [(q,) for q in range(n_qubits)]
+        if n_qubits == 2:
+            return [(0, 1)]
+        return [(q, (q + 1) % n_qubits) for q in range(n_qubits)]
+
+    def max_width(self, n_qubits: int) -> int:
+        return len(self.positions(n_qubits))
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A named design space: a block of layers repeated up to ``max_blocks``."""
+
+    name: str
+    layers: Tuple[LayerSpec, ...]
+    max_blocks: int
+    front_sampling: bool = True
+    prefix_layers: Tuple[LayerSpec, ...] = ()
+    min_width: int = 1
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    def max_widths(self, n_qubits: int) -> List[int]:
+        return [layer.max_width(n_qubits) for layer in self.layers]
+
+    def params_per_block(self, n_qubits: int) -> int:
+        return sum(
+            layer.params_per_gate * layer.max_width(n_qubits) for layer in self.layers
+        )
+
+    def total_parameters(self, n_qubits: int) -> int:
+        """Parameter count of the full SuperCircuit."""
+        return self.max_blocks * self.params_per_block(n_qubits)
+
+    def num_subcircuits(self, n_qubits: int) -> float:
+        """Size of the design space (number of distinct SubCircuit configs)."""
+        per_block = 1.0
+        for width in self.max_widths(n_qubits):
+            per_block *= width - self.min_width + 1
+        total = 0.0
+        for blocks in range(1, self.max_blocks + 1):
+            total += per_block**blocks
+        return total
+
+
+def _space(name, layers, max_blocks, front_sampling=True, prefix=()):
+    return DesignSpace(
+        name=name,
+        layers=tuple(layers),
+        max_blocks=max_blocks,
+        front_sampling=front_sampling,
+        prefix_layers=tuple(prefix),
+    )
+
+
+DESIGN_SPACES: Dict[str, DesignSpace] = {
+    "u3cu3": _space(
+        "u3cu3",
+        [LayerSpec("u3", "single"), LayerSpec("cu3", "ring")],
+        max_blocks=8,
+    ),
+    "zzry": _space(
+        "zzry",
+        [LayerSpec("rzz", "ring"), LayerSpec("ry", "single")],
+        max_blocks=8,
+    ),
+    "rxyz": _space(
+        "rxyz",
+        [
+            LayerSpec("rx", "single"),
+            LayerSpec("ry", "single"),
+            LayerSpec("rz", "single"),
+            LayerSpec("cz", "ring"),
+        ],
+        max_blocks=8,
+        prefix=[LayerSpec("sh", "single")],
+    ),
+    "zxxx": _space(
+        "zxxx",
+        [LayerSpec("rzx", "ring"), LayerSpec("rxx", "ring")],
+        max_blocks=8,
+    ),
+    "rxyz_u1_cu3": _space(
+        "rxyz_u1_cu3",
+        [
+            LayerSpec("rx", "single"),
+            LayerSpec("s", "single"),
+            LayerSpec("cx", "ring"),
+            LayerSpec("ry", "single"),
+            LayerSpec("t", "single"),
+            LayerSpec("swap", "ring"),
+            LayerSpec("rz", "single"),
+            LayerSpec("h", "single"),
+            LayerSpec("sqswap", "ring"),
+            LayerSpec("u1", "single"),
+            LayerSpec("cu3", "ring"),
+        ],
+        max_blocks=4,
+    ),
+    "ibmq_basis": _space(
+        "ibmq_basis",
+        [
+            LayerSpec("rz", "single"),
+            LayerSpec("x", "single"),
+            LayerSpec("rz", "single"),
+            LayerSpec("sx", "single"),
+            LayerSpec("rz", "single"),
+            LayerSpec("cx", "ring"),
+        ],
+        max_blocks=20,
+        front_sampling=False,
+    ),
+}
+
+
+def available_design_spaces() -> List[str]:
+    return sorted(DESIGN_SPACES)
+
+
+def get_design_space(name: str) -> DesignSpace:
+    key = name.lower().replace("+", "").replace("-", "_").replace(" ", "")
+    aliases = {
+        "u3cu3": "u3cu3",
+        "zzry": "zzry",
+        "rxyz": "rxyz",
+        "zxxx": "zxxx",
+        "rxyzu1cu3": "rxyz_u1_cu3",
+        "rxyz_u1_cu3": "rxyz_u1_cu3",
+        "ibmqbasis": "ibmq_basis",
+        "ibmq_basis": "ibmq_basis",
+    }
+    key = aliases.get(key, key)
+    if key not in DESIGN_SPACES:
+        raise KeyError(
+            f"unknown design space '{name}'; available: "
+            f"{', '.join(available_design_spaces())}"
+        )
+    return DESIGN_SPACES[key]

@@ -1,0 +1,199 @@
+"""The performance estimator used inside the evolutionary co-search.
+
+Given a candidate (SubCircuit, qubit mapping) pair, the estimator assigns the
+SubCircuit its *inherited* parameters and predicts its measured performance on
+the target device.  Two estimation modes follow the paper:
+
+* ``noise_sim`` — compile with the candidate mapping and simulate with the
+  device's full noise model (used for small circuits, <= ~10 qubits);
+* ``success_rate`` — noise-free simulation combined with the product of
+  per-gate success rates (``l_augmented = l_noise_free / r_overall``), used for
+  circuits too large to simulate with noise.
+
+``mode="real_qc"`` evaluates on the shot-based backend instead, which is the
+Table IV "search with real QC in the loop" configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..devices.backend import QuantumBackend
+from ..devices.library import Device
+from ..qml.datasets import Dataset
+from ..qml.qnn import QNNModel
+from ..quantum.circuit import ParameterizedCircuit
+from ..quantum.density_matrix import DensityMatrixSimulator, expectation_pauli_sum_dm
+from ..quantum.operators import PauliString, PauliSum
+from ..quantum.statevector import expectation_pauli_sum, run_parameterized
+from ..transpile.compiler import transpile
+from ..utils.rng import ensure_rng
+from ..utils.stats import nll_loss, softmax
+from ..vqe.molecules import Molecule
+
+__all__ = ["EstimatorConfig", "PerformanceEstimator"]
+
+
+@dataclass
+class EstimatorConfig:
+    """Configuration of the performance estimator."""
+
+    mode: str = "auto"               # auto | noise_sim | success_rate | noise_free | real_qc
+    optimization_level: int = 2
+    max_density_qubits: int = 10
+    n_valid_samples: int = 24
+    shots: int = 2048                # only used in real_qc mode
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        valid = ("auto", "noise_sim", "success_rate", "noise_free", "real_qc")
+        if self.mode not in valid:
+            raise ValueError(f"mode must be one of {valid}")
+
+
+class PerformanceEstimator:
+    """Estimates QML validation loss or VQE energy under device noise."""
+
+    def __init__(self, device: Device, config: Optional[EstimatorConfig] = None) -> None:
+        self.device = device
+        self.config = config or EstimatorConfig()
+        self.rng = ensure_rng(self.config.seed)
+        self._backend = QuantumBackend(
+            device,
+            shots=self.config.shots,
+            seed=self.config.seed,
+            max_density_qubits=self.config.max_density_qubits,
+        )
+        self.num_queries = 0
+
+    # -- mode resolution ---------------------------------------------------------
+
+    def _resolve_mode(self, n_qubits: int) -> str:
+        if self.config.mode != "auto":
+            return self.config.mode
+        if n_qubits <= self.config.max_density_qubits:
+            return "noise_sim"
+        return "success_rate"
+
+    # -- QML -----------------------------------------------------------------------
+
+    def estimate_qml(
+        self,
+        circuit: ParameterizedCircuit,
+        weights: np.ndarray,
+        dataset: Dataset,
+        n_classes: int,
+        layout=None,
+    ) -> float:
+        """Predicted validation loss of a QML SubCircuit (lower is better)."""
+        self.num_queries += 1
+        model = QNNModel.from_circuit(circuit, n_classes)
+        features, labels = self._validation_subset(dataset)
+        mode = self._resolve_mode(circuit.n_qubits)
+
+        if mode == "noise_free":
+            out = model.forward(weights, features)
+            return nll_loss(softmax(out.logits), labels)
+
+        if mode == "success_rate":
+            out = model.forward(weights, features)
+            noise_free = nll_loss(softmax(out.logits), labels)
+            compiled = transpile(
+                circuit.bind(weights, features[0]),
+                self.device,
+                initial_layout=layout,
+                optimization_level=self.config.optimization_level,
+            )
+            return noise_free / compiled.success_rate()
+
+        shots = self.config.shots if mode == "real_qc" else 0
+        expectations = np.zeros((len(labels), circuit.n_qubits))
+        for index, row in enumerate(features):
+            result = self._backend.run(
+                circuit.bind(weights, row),
+                initial_layout=layout,
+                optimization_level=self.config.optimization_level,
+                shots=shots,
+            )
+            expectations[index] = result.expectation_z_all()
+        logits = model.logits_from_expectations(expectations)
+        return nll_loss(softmax(logits), labels)
+
+    def _validation_subset(self, dataset: Dataset) -> Tuple[np.ndarray, np.ndarray]:
+        n_valid = len(dataset.y_valid)
+        count = min(self.config.n_valid_samples, n_valid)
+        index = np.arange(count)  # deterministic subset keeps candidates comparable
+        return dataset.x_valid[index], dataset.y_valid[index]
+
+    # -- VQE -----------------------------------------------------------------------
+
+    def estimate_vqe(
+        self,
+        ansatz: ParameterizedCircuit,
+        weights: np.ndarray,
+        molecule: Molecule,
+        layout=None,
+    ) -> float:
+        """Predicted measured energy of a VQE ansatz (lower is better)."""
+        self.num_queries += 1
+        hamiltonian = molecule.hamiltonian
+        mode = self._resolve_mode(ansatz.n_qubits)
+
+        states = run_parameterized(ansatz, weights)
+        noise_free_energy = float(expectation_pauli_sum(states, hamiltonian)[0])
+        if mode == "noise_free":
+            return noise_free_energy
+
+        bound = ansatz.bind(weights)
+        compiled = transpile(
+            bound,
+            self.device,
+            initial_layout=layout,
+            optimization_level=self.config.optimization_level,
+        )
+        if mode in ("success_rate",):
+            rate = compiled.success_rate()
+            mixed_energy = hamiltonian.constant
+            return rate * noise_free_energy + (1.0 - rate) * mixed_energy
+
+        if mode == "real_qc":
+            from ..vqe.vqe import VQEModel
+
+            model = VQEModel(ansatz, molecule)
+            return model.measure_energy(
+                weights,
+                self._backend,
+                initial_layout=layout,
+                optimization_level=self.config.optimization_level,
+                shots=self.config.shots,
+            )
+
+        # noise_sim: density-matrix expectation with the Hamiltonian remapped to
+        # the reduced physical register.
+        reduced, used_physical = compiled.reduced_circuit()
+        if len(used_physical) > self.config.max_density_qubits:
+            rate = compiled.success_rate()
+            mixed_energy = hamiltonian.constant
+            return rate * noise_free_energy + (1.0 - rate) * mixed_energy
+        noise_model = self.device.noise_model().reduced(used_physical)
+        simulator = DensityMatrixSimulator(reduced.n_qubits, noise_model)
+        rho = simulator.run(reduced)
+        remapped = self._remap_hamiltonian(hamiltonian, compiled, used_physical)
+        return expectation_pauli_sum_dm(rho, remapped)
+
+    @staticmethod
+    def _remap_hamiltonian(
+        hamiltonian: PauliSum, compiled, used_physical: Sequence[int]
+    ) -> PauliSum:
+        physical_to_reduced = {phys: i for i, phys in enumerate(used_physical)}
+        terms = []
+        for term in hamiltonian.terms:
+            mapped = {}
+            for logical, pauli in term.paulis:
+                physical = compiled.final_layout[logical]
+                mapped[physical_to_reduced[physical]] = pauli
+            terms.append(PauliString.from_dict(term.coefficient, mapped))
+        return PauliSum(terms)

@@ -1,0 +1,256 @@
+"""Evolutionary co-search of SubCircuit and qubit mapping.
+
+The gene concatenates the circuit sub-gene (number of blocks + per-layer
+widths) with the qubit-mapping sub-gene (one physical qubit per logical
+qubit).  Each iteration evaluates the population with the performance
+estimator, keeps the best candidates as parents, and produces the next
+population from mutations and crossovers, repairing any duplicated physical
+qubits exactly as described in Section III-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..devices.library import Device
+from ..utils.rng import ensure_rng
+from .design_space import DesignSpace
+from .subcircuit import SubCircuitConfig
+
+__all__ = ["Candidate", "EvolutionConfig", "EvolutionResult", "EvolutionEngine",
+           "random_search"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One (SubCircuit configuration, qubit mapping) pair."""
+
+    config: SubCircuitConfig
+    mapping: Tuple[int, ...]
+
+    def gene(self) -> List[int]:
+        return self.config.as_gene() + list(self.mapping)
+
+
+@dataclass
+class EvolutionConfig:
+    """Search hyper-parameters (paper defaults: 40 iterations, population 40)."""
+
+    iterations: int = 40
+    population_size: int = 40
+    parent_size: int = 10
+    mutation_size: int = 20
+    mutation_probability: float = 0.4
+    crossover_size: int = 10
+    seed: int = 0
+    search_mapping: bool = True       # co-search qubit mapping with the circuit
+    search_circuit: bool = True       # disable to search the mapping only
+
+
+@dataclass
+class EvolutionResult:
+    """Best candidate found plus the per-iteration search trace."""
+
+    best: Candidate
+    best_score: float
+    history: List[Dict[str, float]] = field(default_factory=list)
+    evaluated: int = 0
+
+
+ScoreFn = Callable[[SubCircuitConfig, Tuple[int, ...]], float]
+
+
+class EvolutionEngine:
+    """Genetic search over the joint circuit / qubit-mapping space."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        n_qubits: int,
+        device: Device,
+        config: Optional[EvolutionConfig] = None,
+        fixed_config: Optional[SubCircuitConfig] = None,
+        fixed_mapping: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.space = space
+        self.n_qubits = int(n_qubits)
+        self.device = device
+        self.config = config or EvolutionConfig()
+        self.rng = ensure_rng(self.config.seed)
+        self.max_widths = space.max_widths(self.n_qubits)
+        if self.n_qubits > device.n_qubits:
+            raise ValueError("circuit does not fit on the device")
+        self.fixed_config = fixed_config
+        self.fixed_mapping = tuple(fixed_mapping) if fixed_mapping is not None else None
+
+    # -- candidate generation ------------------------------------------------------
+
+    def random_mapping(self) -> Tuple[int, ...]:
+        if self.fixed_mapping is not None or not self.config.search_mapping:
+            return self.fixed_mapping or tuple(range(self.n_qubits))
+        physical = self.rng.permutation(self.device.n_qubits)[: self.n_qubits]
+        return tuple(int(q) for q in physical)
+
+    def random_config(self) -> SubCircuitConfig:
+        if self.fixed_config is not None or not self.config.search_circuit:
+            return self.fixed_config or SubCircuitConfig.full(self.space, self.n_qubits)
+        n_blocks = int(self.rng.integers(1, self.space.max_blocks + 1))
+        widths = tuple(
+            tuple(
+                int(self.rng.integers(self.space.min_width, w + 1))
+                for w in self.max_widths
+            )
+            for _ in range(self.space.max_blocks)
+        )
+        return SubCircuitConfig(n_blocks, widths)
+
+    def random_candidate(self) -> Candidate:
+        return Candidate(self.random_config(), self.random_mapping())
+
+    # -- genetic operators -----------------------------------------------------------
+
+    def repair_mapping(self, mapping: Sequence[int]) -> Tuple[int, ...]:
+        """Replace repeated physical qubits with the first unused ones."""
+        seen: set[int] = set()
+        repaired: List[int] = []
+        for physical in mapping:
+            physical = int(physical) % self.device.n_qubits
+            if physical in seen:
+                replacement = next(
+                    q for q in range(self.device.n_qubits) if q not in seen
+                )
+                physical = replacement
+            seen.add(physical)
+            repaired.append(physical)
+        return tuple(repaired)
+
+    def mutate(self, candidate: Candidate) -> Candidate:
+        probability = self.config.mutation_probability
+        config = candidate.config
+        if self.config.search_circuit and self.fixed_config is None:
+            widths = [list(block) for block in config.widths]
+            for block in range(self.space.max_blocks):
+                for layer in range(self.space.n_layers):
+                    if self.rng.random() < probability:
+                        widths[block][layer] = int(
+                            self.rng.integers(
+                                self.space.min_width, self.max_widths[layer] + 1
+                            )
+                        )
+            n_blocks = config.n_blocks
+            if self.rng.random() < probability:
+                n_blocks = int(self.rng.integers(1, self.space.max_blocks + 1))
+            config = SubCircuitConfig(n_blocks, tuple(tuple(b) for b in widths))
+        mapping = list(candidate.mapping)
+        if self.config.search_mapping and self.fixed_mapping is None:
+            for index in range(len(mapping)):
+                if self.rng.random() < probability:
+                    mapping[index] = int(self.rng.integers(0, self.device.n_qubits))
+            mapping = list(self.repair_mapping(mapping))
+        return Candidate(config, tuple(mapping))
+
+    def crossover(self, parent_a: Candidate, parent_b: Candidate) -> Candidate:
+        gene_a = parent_a.gene()
+        gene_b = parent_b.gene()
+        child_gene = [
+            gene_a[i] if self.rng.random() < 0.5 else gene_b[i]
+            for i in range(len(gene_a))
+        ]
+        circuit_len = 1 + self.space.max_blocks * self.space.n_layers
+        config = SubCircuitConfig.from_gene(
+            self.space, self.n_qubits, child_gene[:circuit_len]
+        )
+        mapping = self.repair_mapping(child_gene[circuit_len:])
+        if self.fixed_config is not None or not self.config.search_circuit:
+            config = self.fixed_config or config
+        if self.fixed_mapping is not None or not self.config.search_mapping:
+            mapping = self.fixed_mapping or mapping
+        return Candidate(config, mapping)
+
+    # -- main loop ----------------------------------------------------------------------
+
+    def search(self, score_fn: ScoreFn, verbose: bool = False) -> EvolutionResult:
+        """Run the evolutionary search; ``score_fn`` returns lower-is-better."""
+        population = [self.random_candidate() for _ in range(self.config.population_size)]
+        cache: Dict[Tuple[int, ...], float] = {}
+        history: List[Dict[str, float]] = []
+        evaluated = 0
+        best: Optional[Candidate] = None
+        best_score = float("inf")
+
+        for iteration in range(self.config.iterations):
+            scored: List[Tuple[float, Candidate]] = []
+            for candidate in population:
+                key = tuple(candidate.gene())
+                if key not in cache:
+                    cache[key] = float(score_fn(candidate.config, candidate.mapping))
+                    evaluated += 1
+                scored.append((cache[key], candidate))
+            scored.sort(key=lambda item: item[0])
+            if scored[0][0] < best_score:
+                best_score, best = scored[0]
+            history.append(
+                {
+                    "iteration": iteration,
+                    "best_score": best_score,
+                    "population_best": scored[0][0],
+                    "population_mean": float(np.mean([s for s, _c in scored])),
+                }
+            )
+            if verbose:
+                print(
+                    f"[evolution] iter {iteration:3d} best={best_score:.4f} "
+                    f"mean={history[-1]['population_mean']:.4f}"
+                )
+            parents = [candidate for _score, candidate in scored[: self.config.parent_size]]
+            mutations = [
+                self.mutate(parents[int(self.rng.integers(0, len(parents)))])
+                for _ in range(self.config.mutation_size)
+            ]
+            crossovers = [
+                self.crossover(
+                    parents[int(self.rng.integers(0, len(parents)))],
+                    parents[int(self.rng.integers(0, len(parents)))],
+                )
+                for _ in range(self.config.crossover_size)
+            ]
+            population = parents + mutations + crossovers
+
+        assert best is not None
+        return EvolutionResult(
+            best=best, best_score=best_score, history=history, evaluated=evaluated
+        )
+
+
+def random_search(
+    space: DesignSpace,
+    n_qubits: int,
+    device: Device,
+    score_fn: ScoreFn,
+    n_samples: int,
+    seed: int = 0,
+    search_mapping: bool = True,
+) -> EvolutionResult:
+    """Pure random search baseline over the same joint space (Fig. 22)."""
+    engine = EvolutionEngine(
+        space,
+        n_qubits,
+        device,
+        EvolutionConfig(seed=seed, search_mapping=search_mapping),
+    )
+    best = None
+    best_score = float("inf")
+    history = []
+    for index in range(n_samples):
+        candidate = engine.random_candidate()
+        score = float(score_fn(candidate.config, candidate.mapping))
+        if score < best_score:
+            best_score, best = score, candidate
+        history.append({"iteration": index, "best_score": best_score,
+                        "population_best": score, "population_mean": score})
+    assert best is not None
+    return EvolutionResult(best=best, best_score=best_score, history=history,
+                           evaluated=n_samples)

@@ -1,0 +1,127 @@
+"""SubCircuit samplers for SuperCircuit training.
+
+Two techniques from the paper stabilize sampling-based SuperCircuit training:
+
+* **Front sampling** — only prefixes of blocks and of gates inside a layer are
+  sampled, so all SubCircuits share the front parameters.
+* **Restricted sampling** — consecutive samples may differ in at most
+  ``max_layer_changes`` (block, layer) positions (the paper uses 7), which
+  bounds the sampling variance between steps.
+
+``progressive_min_blocks`` additionally shrinks the lower bound of sampled
+block counts over training, the "progressively shrink the lower bound of
+possible sampled SubCircuit #blocks" trick from Section IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..utils.rng import ensure_rng
+from .design_space import DesignSpace
+from .subcircuit import SubCircuitConfig
+
+__all__ = ["SamplerConfig", "ConfigSampler"]
+
+
+@dataclass
+class SamplerConfig:
+    """Knobs of the SubCircuit sampler."""
+
+    front_sampling: bool = True
+    restricted_sampling: bool = True
+    max_layer_changes: int = 7
+    progressive_shrink: bool = True
+    total_steps: int = 1000
+
+
+class ConfigSampler:
+    """Samples SubCircuit configurations during SuperCircuit training."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        n_qubits: int,
+        config: Optional[SamplerConfig] = None,
+        rng=None,
+    ) -> None:
+        self.space = space
+        self.n_qubits = int(n_qubits)
+        self.config = config or SamplerConfig(front_sampling=space.front_sampling)
+        self.rng = ensure_rng(rng)
+        self.max_widths = space.max_widths(self.n_qubits)
+        self._previous: Optional[SubCircuitConfig] = None
+        self._step = 0
+
+    # -- block-count schedule ----------------------------------------------------
+
+    def min_blocks_at(self, step: int) -> int:
+        """Lower bound of sampled #blocks at a given training step."""
+        if not self.config.progressive_shrink:
+            return 1
+        total = max(self.config.total_steps, 1)
+        progress = min(step / total, 1.0)
+        # Start sampling only deep SubCircuits, progressively allow shallow ones.
+        upper = self.space.max_blocks
+        lower = max(1, int(round(upper - progress * (upper - 1))))
+        return lower
+
+    # -- sampling -----------------------------------------------------------------
+
+    def _random_config(self, min_blocks: int) -> SubCircuitConfig:
+        n_blocks = int(self.rng.integers(min_blocks, self.space.max_blocks + 1))
+        widths = tuple(
+            tuple(
+                int(self.rng.integers(self.space.min_width, max_width + 1))
+                for max_width in self.max_widths
+            )
+            for _ in range(self.space.max_blocks)
+        )
+        return SubCircuitConfig(n_blocks, widths)
+
+    def _restricted_step(
+        self, previous: SubCircuitConfig, min_blocks: int
+    ) -> SubCircuitConfig:
+        """Alter at most ``max_layer_changes`` positions of the previous config."""
+        n_positions = self.space.max_blocks * self.space.n_layers
+        n_changes = int(
+            self.rng.integers(1, max(self.config.max_layer_changes, 1) + 1)
+        )
+        change_positions = self.rng.choice(
+            n_positions, size=min(n_changes, n_positions), replace=False
+        )
+        widths = [list(block) for block in previous.widths]
+        for flat in change_positions:
+            block, layer = divmod(int(flat), self.space.n_layers)
+            widths[block][layer] = int(
+                self.rng.integers(self.space.min_width, self.max_widths[layer] + 1)
+            )
+        n_blocks = previous.n_blocks
+        if self.rng.random() < 0.5:
+            n_blocks = int(self.rng.integers(min_blocks, self.space.max_blocks + 1))
+        n_blocks = max(n_blocks, min_blocks)
+        return SubCircuitConfig(n_blocks, tuple(tuple(b) for b in widths))
+
+    def sample(self) -> SubCircuitConfig:
+        """Sample the next SubCircuit configuration."""
+        min_blocks = self.min_blocks_at(self._step)
+        if (
+            self.config.restricted_sampling
+            and self._previous is not None
+        ):
+            config = self._restricted_step(self._previous, min_blocks)
+        else:
+            config = self._random_config(min_blocks)
+        self._previous = config
+        self._step += 1
+        return config
+
+    def sample_many(self, count: int) -> List[SubCircuitConfig]:
+        return [self.sample() for _ in range(count)]
+
+    def reset(self) -> None:
+        self._previous = None
+        self._step = 0

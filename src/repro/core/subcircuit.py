@@ -1,0 +1,122 @@
+"""SubCircuit configurations: which blocks and gates of the SuperCircuit are kept."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .design_space import DesignSpace
+
+__all__ = ["SubCircuitConfig"]
+
+
+@dataclass(frozen=True)
+class SubCircuitConfig:
+    """A point in the design space.
+
+    ``n_blocks`` is the number of (front) blocks kept; ``widths[b][l]`` is the
+    number of gates kept in layer ``l`` of block ``b`` (always stored for every
+    block up to ``max_blocks`` so restricted sampling can compare configs
+    position-wise).  With front sampling, the kept gates are the first
+    ``widths[b][l]`` positions of the layer.
+    """
+
+    n_blocks: int
+    widths: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.n_blocks < 1:
+            raise ValueError("a SubCircuit needs at least one block")
+        if self.n_blocks > len(self.widths):
+            raise ValueError("n_blocks exceeds the number of stored block widths")
+        object.__setattr__(
+            self, "widths", tuple(tuple(int(w) for w in block) for block in self.widths)
+        )
+
+    # -- constructors ----------------------------------------------------------
+
+    @staticmethod
+    def full(space: DesignSpace, n_qubits: int,
+             n_blocks: Optional[int] = None) -> "SubCircuitConfig":
+        """The configuration with every gate present (the SuperCircuit itself)."""
+        max_widths = space.max_widths(n_qubits)
+        blocks = n_blocks if n_blocks is not None else space.max_blocks
+        widths = tuple(tuple(max_widths) for _ in range(space.max_blocks))
+        return SubCircuitConfig(blocks, widths)
+
+    @staticmethod
+    def uniform_width(
+        space: DesignSpace, n_qubits: int, n_blocks: int, width_ratio: float
+    ) -> "SubCircuitConfig":
+        """A config with every layer at ``ratio`` of its maximum width."""
+        max_widths = space.max_widths(n_qubits)
+        row = tuple(
+            max(space.min_width, int(round(ratio_width * width_ratio)))
+            for ratio_width in max_widths
+        )
+        widths = tuple(row for _ in range(space.max_blocks))
+        return SubCircuitConfig(n_blocks, widths)
+
+    # -- inspection -------------------------------------------------------------
+
+    def active_widths(self) -> Tuple[Tuple[int, ...], ...]:
+        return self.widths[: self.n_blocks]
+
+    def layer_width(self, block: int, layer: int) -> int:
+        return self.widths[block][layer]
+
+    def num_gates(self, space: DesignSpace) -> int:
+        """Number of gates in the active blocks."""
+        return sum(sum(block) for block in self.active_widths())
+
+    def num_parameters(self, space: DesignSpace) -> int:
+        total = 0
+        for block in self.active_widths():
+            for layer_index, width in enumerate(block):
+                total += width * space.layers[layer_index].params_per_gate
+        return total
+
+    def difference(self, other: "SubCircuitConfig") -> int:
+        """Number of (block, layer) positions whose width differs.
+
+        This is the quantity restricted sampling bounds between consecutive
+        SuperCircuit training steps.
+        """
+        count = 0 if self.n_blocks == other.n_blocks else 1
+        for block_a, block_b in zip(self.widths, other.widths):
+            for width_a, width_b in zip(block_a, block_b):
+                if width_a != width_b:
+                    count += 1
+        return count
+
+    def as_gene(self) -> List[int]:
+        """Flatten to the circuit sub-gene used by the evolutionary search."""
+        gene = [self.n_blocks]
+        for block in self.widths:
+            gene.extend(block)
+        return gene
+
+    @staticmethod
+    def from_gene(space: DesignSpace, n_qubits: int, gene: Sequence[int]):
+        """Inverse of :meth:`as_gene`."""
+        n_layers = space.n_layers
+        expected = 1 + space.max_blocks * n_layers
+        if len(gene) != expected:
+            raise ValueError(
+                f"gene of length {len(gene)} does not match design space "
+                f"(expected {expected})"
+            )
+        n_blocks = int(np.clip(gene[0], 1, space.max_blocks))
+        max_widths = space.max_widths(n_qubits)
+        widths = []
+        cursor = 1
+        for _block in range(space.max_blocks):
+            row = []
+            for layer in range(n_layers):
+                value = int(np.clip(gene[cursor], space.min_width, max_widths[layer]))
+                row.append(value)
+                cursor += 1
+            widths.append(tuple(row))
+        return SubCircuitConfig(n_blocks, tuple(widths))

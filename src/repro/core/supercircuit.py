@@ -1,0 +1,177 @@
+"""The SuperCircuit: the largest circuit of a design space with shared parameters.
+
+The SuperCircuit owns one parameter per gate-angle of the *full* design space.
+Sampling a SubCircuit selects a subset of blocks/gates; its gates read (and,
+during SuperCircuit training, update) the corresponding subset of the shared
+parameters.  After training, any SubCircuit can *inherit* its parameters from
+the SuperCircuit, which is what makes the evolutionary search cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..qml.encoders import EncoderSpec, build_encoder_ops
+from ..quantum.circuit import ParamOp, ParameterizedCircuit, weight
+from ..utils.rng import ensure_rng
+from .design_space import DesignSpace
+from .subcircuit import SubCircuitConfig
+
+__all__ = ["GateSlot", "SuperCircuit"]
+
+
+@dataclass(frozen=True)
+class GateSlot:
+    """One gate position of the SuperCircuit and its shared-parameter indices."""
+
+    block: int
+    layer: int
+    position: int
+    gate: str
+    qubits: Tuple[int, ...]
+    weight_indices: Tuple[int, ...]
+
+
+class SuperCircuit:
+    """Shared-parameter container for a design space on ``n_qubits`` wires."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        n_qubits: int,
+        encoder: Optional[EncoderSpec] = None,
+        seed: int = 0,
+    ) -> None:
+        self.space = space
+        self.n_qubits = int(n_qubits)
+        self.encoder = encoder
+        self._slots: List[GateSlot] = []
+        next_weight = 0
+        for block in range(space.max_blocks):
+            for layer_index, layer in enumerate(space.layers):
+                for position, qubits in enumerate(layer.positions(self.n_qubits)):
+                    indices = tuple(
+                        range(next_weight, next_weight + layer.params_per_gate)
+                    )
+                    next_weight += layer.params_per_gate
+                    self._slots.append(
+                        GateSlot(block, layer_index, position, layer.gate, qubits, indices)
+                    )
+        self.num_parameters = next_weight
+        rng = ensure_rng(seed)
+        self.parameters = rng.uniform(-np.pi, np.pi, size=self.num_parameters)
+
+    # -- slot selection ----------------------------------------------------------
+
+    def all_slots(self) -> List[GateSlot]:
+        return list(self._slots)
+
+    def active_slots(self, config: SubCircuitConfig) -> List[GateSlot]:
+        """Slots kept by ``config`` (front sampling: the first ``width`` positions)."""
+        if config.n_blocks > self.space.max_blocks:
+            raise ValueError("config has more blocks than the design space allows")
+        active = []
+        for slot in self._slots:
+            if slot.block >= config.n_blocks:
+                continue
+            if slot.position < config.layer_width(slot.block, slot.layer):
+                active.append(slot)
+        return active
+
+    def active_weight_mask(self, config: SubCircuitConfig) -> np.ndarray:
+        """Boolean mask over the shared parameters touched by ``config``."""
+        mask = np.zeros(self.num_parameters, dtype=bool)
+        for slot in self.active_slots(config):
+            for index in slot.weight_indices:
+                mask[index] = True
+        return mask
+
+    # -- circuit construction ------------------------------------------------------
+
+    def _structural_ops(self, slots: Sequence[GateSlot], index_of) -> List[ParamOp]:
+        """ParamOps for the given slots, mapping weights through ``index_of``."""
+        ops: List[ParamOp] = []
+        for slot in slots:
+            if slot.weight_indices:
+                slots_params = tuple(weight(index_of(i)) for i in slot.weight_indices)
+                ops.append(ParamOp(slot.gate, slot.qubits, slots_params))
+            else:
+                ops.append(ParamOp(slot.gate, slot.qubits))
+        return ops
+
+    def _prefix_ops(self) -> List[ParamOp]:
+        ops: List[ParamOp] = []
+        for layer in self.space.prefix_layers:
+            for qubits in layer.positions(self.n_qubits):
+                ops.append(ParamOp(layer.gate, qubits))
+        return ops
+
+    def build_shared_circuit(
+        self, config: SubCircuitConfig, include_encoder: bool = True
+    ) -> ParameterizedCircuit:
+        """A SubCircuit whose weight slots index directly into the shared parameters.
+
+        Used during SuperCircuit training: gradients come back in the shared
+        parameter space and only the active subset is updated.
+        """
+        pcirc = ParameterizedCircuit(self.n_qubits)
+        if include_encoder and self.encoder is not None:
+            for op in build_encoder_ops(self.encoder):
+                pcirc.add_op(op)
+        for op in self._prefix_ops():
+            pcirc.add_op(op)
+        for op in self._structural_ops(self.active_slots(config), lambda i: i):
+            pcirc.add_op(op)
+        pcirc.ensure_num_weights(self.num_parameters)
+        return pcirc
+
+    def build_standalone_circuit(
+        self, config: SubCircuitConfig, include_encoder: bool = True
+    ) -> Tuple[ParameterizedCircuit, np.ndarray]:
+        """A SubCircuit with its own compact weight vector.
+
+        Returns the circuit and an integer array mapping each compact weight
+        index to the SuperCircuit parameter it corresponds to, so parameters
+        can be inherited (``weights = supercircuit.parameters[mapping]``) or
+        the SubCircuit can be retrained from scratch.
+        """
+        slots = self.active_slots(config)
+        global_indices: List[int] = []
+        compact_of: dict[int, int] = {}
+        for slot in slots:
+            for index in slot.weight_indices:
+                if index not in compact_of:
+                    compact_of[index] = len(global_indices)
+                    global_indices.append(index)
+        pcirc = ParameterizedCircuit(self.n_qubits)
+        if include_encoder and self.encoder is not None:
+            for op in build_encoder_ops(self.encoder):
+                pcirc.add_op(op)
+        for op in self._prefix_ops():
+            pcirc.add_op(op)
+        for op in self._structural_ops(slots, lambda i: compact_of[i]):
+            pcirc.add_op(op)
+        pcirc.ensure_num_weights(len(global_indices))
+        return pcirc, np.array(global_indices, dtype=int)
+
+    def inherited_weights(self, config: SubCircuitConfig) -> np.ndarray:
+        """Parameters a SubCircuit inherits from the trained SuperCircuit."""
+        _circuit, mapping = self.build_standalone_circuit(config)
+        return self.parameters[mapping].copy()
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    def update_parameters(self, new_values: np.ndarray) -> None:
+        new_values = np.asarray(new_values, dtype=float)
+        if new_values.shape != (self.num_parameters,):
+            raise ValueError("parameter vector has the wrong shape")
+        self.parameters = new_values.copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"SuperCircuit(space='{self.space.name}', n_qubits={self.n_qubits}, "
+            f"num_parameters={self.num_parameters})"
+        )

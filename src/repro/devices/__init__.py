@@ -1,0 +1,37 @@
+"""Synthetic quantum devices: topologies, calibrations, backends."""
+
+from .backend import BackendResult, QuantumBackend
+from .calibration import Calibration, CalibrationTargets, generate_calibration
+from .library import DEVICE_SPECS, Device, available_devices, get_device
+from .topology import (
+    Topology,
+    bowtie_topology,
+    grid_topology,
+    h_topology,
+    heavy_hex_like_topology,
+    ladder_topology,
+    line_topology,
+    plus_topology,
+    t_topology,
+)
+
+__all__ = [
+    "BackendResult",
+    "QuantumBackend",
+    "Calibration",
+    "CalibrationTargets",
+    "generate_calibration",
+    "DEVICE_SPECS",
+    "Device",
+    "available_devices",
+    "get_device",
+    "Topology",
+    "bowtie_topology",
+    "grid_topology",
+    "h_topology",
+    "heavy_hex_like_topology",
+    "ladder_topology",
+    "line_topology",
+    "plus_topology",
+    "t_topology",
+]

@@ -1,0 +1,130 @@
+"""Synthetic device calibration data.
+
+Real IBMQ backends expose calibration data (T1/T2, gate and readout error
+rates) refreshed roughly twice a day.  We synthesise per-qubit and per-edge
+calibrations deterministically from a seed, centred on target average error
+rates (taken from the ranges reported in Fig. 21 of the paper), and support
+"drift": re-sampling around the same averages to model the passage of time
+between search and deployment (the "tested 3 weeks later" experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..noise.models import NoiseModel, QubitNoiseParameters
+from ..utils.rng import ensure_rng
+from .topology import Topology
+
+__all__ = ["CalibrationTargets", "Calibration", "generate_calibration"]
+
+
+@dataclass(frozen=True)
+class CalibrationTargets:
+    """Average error rates a device's calibration is centred on."""
+
+    single_qubit_error: float = 5e-4
+    two_qubit_error: float = 1e-2
+    readout_error: float = 2e-2
+    t1: float = 90.0   # microseconds
+    t2: float = 75.0   # microseconds
+    spread: float = 0.35  # relative lognormal-ish spread across qubits/edges
+
+
+@dataclass
+class Calibration:
+    """Concrete per-qubit / per-edge calibration snapshot."""
+
+    qubits: Dict[int, QubitNoiseParameters]
+    edge_errors: Dict[Tuple[int, int], float]
+    targets: CalibrationTargets
+    seed: int
+
+    def noise_model(self) -> NoiseModel:
+        model = NoiseModel(
+            qubits=dict(self.qubits), two_qubit_errors=dict(self.edge_errors)
+        )
+        model.default_two_qubit_error = self.targets.two_qubit_error
+        return model
+
+    def average_two_qubit_error(self) -> float:
+        if not self.edge_errors:
+            return self.targets.two_qubit_error
+        return float(np.mean(list(self.edge_errors.values())))
+
+    def average_readout_error(self) -> float:
+        return float(np.mean([q.readout_error for q in self.qubits.values()]))
+
+    def average_single_qubit_error(self) -> float:
+        return float(
+            np.mean([q.single_qubit_error for q in self.qubits.values()])
+        )
+
+    def drift(self, drift_scale: float = 0.15, seed_offset: int = 1) -> "Calibration":
+        """A re-calibrated snapshot: same averages, perturbed per-qubit values.
+
+        ``drift_scale`` controls how far individual values wander from the
+        current snapshot; the averages stay close to the device targets, which
+        is why circuits searched earlier remain noise-resilient (Fig. 14).
+        """
+        rng = ensure_rng(self.seed + 104729 * seed_offset)
+        qubits: Dict[int, QubitNoiseParameters] = {}
+        for index, params in self.qubits.items():
+            factor = float(np.exp(rng.normal(0.0, drift_scale)))
+            qubits[index] = QubitNoiseParameters(
+                t1=params.t1 / factor,
+                t2=min(params.t2 / factor, 2.0 * params.t1 / factor),
+                readout_p01=min(params.readout_p01 * factor, 0.5),
+                readout_p10=min(params.readout_p10 * factor, 0.5),
+                single_qubit_error=min(params.single_qubit_error * factor, 0.5),
+            )
+        edge_errors = {
+            edge: min(error * float(np.exp(rng.normal(0.0, drift_scale))), 0.5)
+            for edge, error in self.edge_errors.items()
+        }
+        return Calibration(
+            qubits=qubits,
+            edge_errors=edge_errors,
+            targets=self.targets,
+            seed=self.seed + seed_offset,
+        )
+
+
+def _spread_sample(rng: np.random.Generator, mean: float, spread: float) -> float:
+    """Sample a positive value with the given mean and relative spread."""
+    return float(mean * np.exp(rng.normal(0.0, spread) - 0.5 * spread**2))
+
+
+def generate_calibration(
+    topology: Topology,
+    targets: CalibrationTargets,
+    seed: int,
+) -> Calibration:
+    """Deterministically synthesise a calibration snapshot for a topology."""
+    rng = ensure_rng(seed)
+    qubits: Dict[int, QubitNoiseParameters] = {}
+    for qubit in range(topology.n_qubits):
+        t1 = max(_spread_sample(rng, targets.t1, targets.spread), 5.0)
+        t2 = min(max(_spread_sample(rng, targets.t2, targets.spread), 5.0), 2.0 * t1)
+        qubits[qubit] = QubitNoiseParameters(
+            t1=t1,
+            t2=t2,
+            readout_p01=min(_spread_sample(rng, targets.readout_error, targets.spread), 0.5),
+            readout_p10=min(
+                _spread_sample(rng, targets.readout_error, targets.spread), 0.5
+            ),
+            single_qubit_error=min(
+                _spread_sample(rng, targets.single_qubit_error, targets.spread), 0.5
+            ),
+        )
+    edge_errors: Dict[Tuple[int, int], float] = {}
+    for edge in topology.edges:
+        edge_errors[edge] = min(
+            _spread_sample(rng, targets.two_qubit_error, targets.spread), 0.5
+        )
+    return Calibration(
+        qubits=qubits, edge_errors=edge_errors, targets=targets, seed=seed
+    )

@@ -1,0 +1,155 @@
+"""The device library: 14 synthetic IBMQ-like quantum computers.
+
+Names, sizes, topologies, quantum volumes and average error-rate targets follow
+the devices the paper evaluates on (Fig. 14, Fig. 15, Fig. 18 and the Fig. 21
+error-rate table).  Calibration snapshots are deterministic per device so
+experiments are reproducible, and :meth:`Device.recalibrated` models the drift
+between search time and deployment time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..noise.models import NoiseModel
+from .calibration import Calibration, CalibrationTargets, generate_calibration
+from .topology import (
+    Topology,
+    bowtie_topology,
+    h_topology,
+    heavy_hex_like_topology,
+    ladder_topology,
+    line_topology,
+    t_topology,
+)
+
+__all__ = ["Device", "DEVICE_SPECS", "available_devices", "get_device"]
+
+
+@dataclass
+class Device:
+    """A quantum computer: topology + calibration + metadata."""
+
+    name: str
+    topology: Topology
+    calibration: Calibration
+    quantum_volume: int
+    basis_gates: Tuple[str, ...] = ("cx", "sx", "rz", "x")
+
+    @property
+    def n_qubits(self) -> int:
+        return self.topology.n_qubits
+
+    def noise_model(self) -> NoiseModel:
+        return self.calibration.noise_model()
+
+    def error_summary(self) -> Dict[str, float]:
+        return {
+            "single_qubit_error": self.calibration.average_single_qubit_error(),
+            "two_qubit_error": self.calibration.average_two_qubit_error(),
+            "readout_error": self.calibration.average_readout_error(),
+        }
+
+    def recalibrated(self, weeks_later: int = 3) -> "Device":
+        """The same device after calibration drift (e.g. 3 weeks later)."""
+        drifted = self.calibration.drift(
+            drift_scale=0.05 * max(weeks_later, 1), seed_offset=weeks_later
+        )
+        return Device(
+            name=f"{self.name}+{weeks_later}w",
+            topology=self.topology,
+            calibration=drifted,
+            quantum_volume=self.quantum_volume,
+            basis_gates=self.basis_gates,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Device(name='{self.name}', n_qubits={self.n_qubits}, "
+            f"qv={self.quantum_volume}, topology='{self.topology.name}')"
+        )
+
+
+@dataclass(frozen=True)
+class _DeviceSpec:
+    name: str
+    topology_kind: str
+    n_qubits: int
+    quantum_volume: int
+    targets: CalibrationTargets
+    seed: int
+
+
+def _targets(single: float, two: float, readout: float) -> CalibrationTargets:
+    return CalibrationTargets(
+        single_qubit_error=single, two_qubit_error=two, readout_error=readout
+    )
+
+
+# Error-rate targets follow the Fig. 21 table (x100 for the single-qubit
+# column): e.g. Santiago 2.55e-4 / 6.3e-3 / 1.7e-2, Yorktown 6.5e-4 / 1.9e-2 /
+# 5.9e-2.  Larger devices use mid-range values.
+DEVICE_SPECS: Dict[str, _DeviceSpec] = {
+    spec.name: spec
+    for spec in [
+        _DeviceSpec("yorktown", "bowtie", 5, 8, _targets(6.5e-4, 1.92e-2, 5.9e-2), 11),
+        _DeviceSpec("santiago", "line", 5, 32, _targets(2.6e-4, 6.3e-3, 1.7e-2), 12),
+        _DeviceSpec("rome", "line", 5, 32, _targets(2.9e-4, 1.05e-2, 2.3e-2), 13),
+        _DeviceSpec("athens", "line", 5, 32, _targets(3.6e-4, 1.11e-2, 1.4e-2), 14),
+        _DeviceSpec("lima", "t", 5, 8, _targets(3.2e-4, 1.01e-2, 2.6e-2), 15),
+        _DeviceSpec("belem", "t", 5, 16, _targets(3.2e-4, 1.79e-2, 2.2e-2), 16),
+        _DeviceSpec("quito", "t", 5, 16, _targets(5.1e-4, 1.0e-2, 2.2e-2), 17),
+        _DeviceSpec("manila", "line", 5, 32, _targets(3.0e-4, 9.0e-3, 2.0e-2), 18),
+        _DeviceSpec("jakarta", "h", 7, 16, _targets(3.0e-4, 8.5e-3, 2.1e-2), 19),
+        _DeviceSpec("casablanca", "h", 7, 32, _targets(3.1e-4, 9.5e-3, 2.2e-2), 20),
+        _DeviceSpec("melbourne", "ladder", 15, 8, _targets(6.0e-4, 2.2e-2, 4.5e-2), 21),
+        _DeviceSpec("guadalupe", "heavy_hex", 16, 32, _targets(3.5e-4, 1.1e-2, 2.3e-2), 22),
+        _DeviceSpec("montreal", "heavy_hex", 27, 128, _targets(2.8e-4, 8.0e-3, 1.9e-2), 23),
+        _DeviceSpec("manhattan", "heavy_hex", 65, 32, _targets(4.0e-4, 1.3e-2, 2.6e-2), 24),
+    ]
+}
+
+
+def _build_topology(spec: _DeviceSpec) -> Topology:
+    kind = spec.topology_kind
+    if kind == "line":
+        return line_topology(spec.n_qubits, name=f"{spec.name}-line")
+    if kind == "t":
+        return t_topology(name=f"{spec.name}-t")
+    if kind == "bowtie":
+        return bowtie_topology(name=f"{spec.name}-bowtie")
+    if kind == "h":
+        return h_topology(name=f"{spec.name}-h")
+    if kind == "ladder":
+        return ladder_topology(spec.n_qubits, name=f"{spec.name}-ladder")
+    if kind == "heavy_hex":
+        return heavy_hex_like_topology(spec.n_qubits, name=f"{spec.name}-heavy-hex")
+    raise ValueError(f"unknown topology kind '{kind}'")
+
+
+def available_devices() -> List[str]:
+    """Names of every device in the library."""
+    return sorted(DEVICE_SPECS)
+
+
+def get_device(name: str, calibration_seed: Optional[int] = None) -> Device:
+    """Construct a device by name with its deterministic calibration."""
+    key = name.lower().replace("ibmq-", "").replace("ibmq_", "")
+    if key not in DEVICE_SPECS:
+        raise KeyError(
+            f"unknown device '{name}'; available: {', '.join(available_devices())}"
+        )
+    spec = DEVICE_SPECS[key]
+    topology = _build_topology(spec)
+    calibration = generate_calibration(
+        topology,
+        spec.targets,
+        seed=spec.seed if calibration_seed is None else calibration_seed,
+    )
+    return Device(
+        name=key,
+        topology=topology,
+        calibration=calibration,
+        quantum_volume=spec.quantum_volume,
+    )

@@ -1,0 +1,22 @@
+"""Noise channels, device noise models and success-rate estimation."""
+
+from .channels import (
+    amplitude_damping_kraus,
+    depolarizing_kraus,
+    is_cptp,
+    phase_damping_kraus,
+    readout_confusion_matrix,
+    thermal_relaxation_kraus,
+)
+from .models import NoiseModel, QubitNoiseParameters
+
+__all__ = [
+    "amplitude_damping_kraus",
+    "depolarizing_kraus",
+    "is_cptp",
+    "phase_damping_kraus",
+    "readout_confusion_matrix",
+    "thermal_relaxation_kraus",
+    "NoiseModel",
+    "QubitNoiseParameters",
+]

@@ -1,0 +1,179 @@
+"""Synthetic QML datasets (MNIST / Fashion-MNIST / Vowel stand-ins).
+
+The paper's benchmarks are 2/4/10-class MNIST, 2/4-class Fashion-MNIST (both
+center-cropped and average-pooled to 4x4 or 6x6 pixels) and the 4-class Vowel
+dataset reduced to its 10 leading PCA components.  Real downloads are not
+available offline, so each dataset is replaced by a deterministic synthetic
+class-conditional generator of identical dimensionality, split sizes, and
+difficulty profile (classes overlap, so accuracy is bounded away from 100%).
+The substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..utils.rng import ensure_rng
+
+__all__ = ["Dataset", "make_classification_dataset", "load_task", "TASK_SPECS"]
+
+
+@dataclass
+class Dataset:
+    """Train / validation / test splits of a classification task."""
+
+    name: str
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_valid: np.ndarray
+    y_valid: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.y_train.max()) + 1
+
+    @property
+    def n_features(self) -> int:
+        return self.x_train.shape[1]
+
+    def subsample_test(self, n_samples: int, seed: int = 0) -> "Dataset":
+        """Restrict the test split (the paper samples 300 test images)."""
+        rng = ensure_rng(seed)
+        n_samples = min(n_samples, len(self.y_test))
+        index = rng.permutation(len(self.y_test))[:n_samples]
+        return Dataset(
+            name=self.name,
+            x_train=self.x_train,
+            y_train=self.y_train,
+            x_valid=self.x_valid,
+            y_valid=self.y_valid,
+            x_test=self.x_test[index],
+            y_test=self.y_test[index],
+        )
+
+
+def _smooth_prototype(rng: np.random.Generator, side: int) -> np.ndarray:
+    """A smooth random image prototype (low-frequency 2-D cosine mixture)."""
+    xs = np.linspace(0.0, 1.0, side)
+    grid_x, grid_y = np.meshgrid(xs, xs)
+    image = np.zeros((side, side))
+    for _ in range(3):
+        fx, fy = rng.uniform(0.5, 2.5, size=2)
+        phase_x, phase_y = rng.uniform(0, 2 * np.pi, size=2)
+        amplitude = rng.uniform(0.5, 1.0)
+        image += amplitude * np.cos(2 * np.pi * fx * grid_x + phase_x) * np.cos(
+            2 * np.pi * fy * grid_y + phase_y
+        )
+    return image.reshape(-1)
+
+
+def make_classification_dataset(
+    name: str,
+    n_classes: int,
+    n_features: int,
+    n_train: int = 360,
+    n_valid: int = 120,
+    n_test: int = 300,
+    noise_scale: float = 0.9,
+    image_side: Optional[int] = None,
+    raw_dim: Optional[int] = None,
+    apply_pca: bool = False,
+    seed: int = 0,
+) -> Dataset:
+    """Generate a class-conditional synthetic dataset.
+
+    Samples are drawn around per-class prototype vectors with additive
+    Gaussian noise; features are then scaled into ``[0, pi]`` so they can be
+    used directly as rotation angles by the encoders.  When ``raw_dim`` is
+    larger than ``n_features`` and ``apply_pca`` is set, samples are generated
+    in the raw space and reduced with PCA (the Vowel preprocessing).
+    """
+    rng = ensure_rng(seed)
+    if raw_dim is None:
+        raw_dim = n_features if image_side is None else image_side * image_side
+    if image_side is not None:
+        prototypes = np.stack(
+            [_smooth_prototype(rng, image_side) for _ in range(n_classes)]
+        )
+    else:
+        prototypes = rng.normal(0.0, 1.0, size=(n_classes, raw_dim))
+
+    total = n_train + n_valid + n_test
+    labels = rng.integers(0, n_classes, size=total)
+    samples = prototypes[labels] + noise_scale * rng.normal(0.0, 1.0, size=(total, raw_dim))
+
+    if apply_pca and raw_dim > n_features:
+        centered = samples - samples.mean(axis=0, keepdims=True)
+        _u, _s, v_t = np.linalg.svd(centered, full_matrices=False)
+        samples = centered @ v_t[:n_features].T
+    elif raw_dim != n_features:
+        samples = samples[:, :n_features]
+
+    low = samples.min(axis=0, keepdims=True)
+    high = samples.max(axis=0, keepdims=True)
+    span = np.where(high - low > 1e-9, high - low, 1.0)
+    samples = np.pi * (samples - low) / span
+
+    x_train, y_train = samples[:n_train], labels[:n_train]
+    x_valid, y_valid = (
+        samples[n_train : n_train + n_valid],
+        labels[n_train : n_train + n_valid],
+    )
+    x_test, y_test = samples[n_train + n_valid :], labels[n_train + n_valid :]
+    return Dataset(name, x_train, y_train, x_valid, y_valid, x_test, y_test)
+
+
+@dataclass(frozen=True)
+class _TaskSpec:
+    n_classes: int
+    n_features: int
+    image_side: Optional[int]
+    apply_pca: bool
+    noise_scale: float
+    seed: int
+
+
+TASK_SPECS: Dict[str, _TaskSpec] = {
+    "mnist-2": _TaskSpec(2, 16, 4, False, 0.9, 101),
+    "mnist-4": _TaskSpec(4, 16, 4, False, 0.9, 102),
+    "mnist-10": _TaskSpec(10, 36, 6, False, 0.9, 103),
+    "fashion-2": _TaskSpec(2, 16, 4, False, 1.0, 104),
+    "fashion-4": _TaskSpec(4, 16, 4, False, 1.0, 105),
+    "vowel-4": _TaskSpec(4, 10, None, True, 1.1, 106),
+}
+
+# Vowel's raw dimensionality before PCA (10 cepstrum-like features x 2 frames).
+_VOWEL_RAW_DIM = 20
+
+
+def load_task(
+    task_name: str,
+    n_train: int = 360,
+    n_valid: int = 120,
+    n_test: int = 300,
+) -> Dataset:
+    """Load one of the paper's QML benchmark tasks (synthetic stand-in)."""
+    key = task_name.lower()
+    if key not in TASK_SPECS:
+        raise KeyError(
+            f"unknown task '{task_name}'; available: {', '.join(sorted(TASK_SPECS))}"
+        )
+    spec = TASK_SPECS[key]
+    return make_classification_dataset(
+        key,
+        spec.n_classes,
+        spec.n_features,
+        n_train=n_train,
+        n_valid=n_valid,
+        n_test=n_test,
+        noise_scale=spec.noise_scale,
+        image_side=spec.image_side,
+        raw_dim=_VOWEL_RAW_DIM if spec.apply_pca else None,
+        apply_pca=spec.apply_pca,
+        seed=spec.seed,
+    )

@@ -1,0 +1,76 @@
+"""Data encoders: rotation-angle encoding of classical features.
+
+Table I of the paper specifies the encoder for every QML benchmark as a short
+sequence of rotation layers, e.g. MNIST-4 uses ``4xRY, 4xRZ, 4xRX, 4xRY`` on 4
+qubits to encode the 16 pixels of a down-sampled 4x4 image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..quantum.circuit import ParamOp, ParameterizedCircuit, feature
+
+__all__ = ["EncoderSpec", "ENCODER_LIBRARY", "build_encoder_ops", "encoder_for_task"]
+
+
+@dataclass(frozen=True)
+class EncoderSpec:
+    """An encoder described as ``(gate, count)`` layers over ``n_qubits`` wires."""
+
+    name: str
+    n_qubits: int
+    layers: Tuple[Tuple[str, int], ...]
+
+    @property
+    def n_features(self) -> int:
+        return sum(count for _gate, count in self.layers)
+
+
+# Encoders from Table I of the paper.
+ENCODER_LIBRARY = {
+    "image_4x4_4q": EncoderSpec(
+        "image_4x4_4q", 4, (("ry", 4), ("rz", 4), ("rx", 4), ("ry", 4))
+    ),
+    "image_6x6_10q": EncoderSpec(
+        "image_6x6_10q", 10, (("ry", 10), ("rz", 10), ("rx", 10), ("ry", 6))
+    ),
+    "vowel_10d_4q": EncoderSpec("vowel_10d_4q", 4, (("ry", 4), ("rz", 4), ("rx", 2))),
+}
+
+
+def build_encoder_ops(spec: EncoderSpec) -> List[ParamOp]:
+    """Expand an encoder spec into data-fed rotation operations.
+
+    Features are consumed sequentially; within a layer the rotations are placed
+    on qubits ``0, 1, ..., count - 1`` (wrapping around the register).
+    """
+    ops: List[ParamOp] = []
+    feature_index = 0
+    for gate, count in spec.layers:
+        for position in range(count):
+            qubit = position % spec.n_qubits
+            ops.append(ParamOp(gate, (qubit,), (feature(feature_index),)))
+            feature_index += 1
+    return ops
+
+
+def attach_encoder(pcirc: ParameterizedCircuit, spec: EncoderSpec) -> None:
+    """Append an encoder's operations to a parameterized circuit."""
+    if pcirc.n_qubits < spec.n_qubits:
+        raise ValueError("circuit has fewer qubits than the encoder requires")
+    for op in build_encoder_ops(spec):
+        pcirc.add_op(op)
+
+
+def encoder_for_task(task_name: str) -> EncoderSpec:
+    """The encoder the paper assigns to each benchmark task."""
+    key = task_name.lower()
+    if key in ("mnist-10", "mnist10"):
+        return ENCODER_LIBRARY["image_6x6_10q"]
+    if key.startswith(("mnist", "fashion")):
+        return ENCODER_LIBRARY["image_4x4_4q"]
+    if key.startswith("vowel"):
+        return ENCODER_LIBRARY["vowel_10d_4q"]
+    raise KeyError(f"no encoder registered for task '{task_name}'")

@@ -1,0 +1,140 @@
+"""Quantum neural network models: encoder + trainable layers + measurement.
+
+A :class:`QNNModel` wraps a :class:`~repro.quantum.circuit.ParameterizedCircuit`
+containing a data encoder followed by trainable quantum layers.  Measurement is
+on the Pauli-Z basis of every qubit; a linear readout map converts the
+expectation values into class logits which are fed to Softmax, exactly as in
+Fig. 4 of the paper (for 2-class tasks, pairs of qubits are summed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..quantum.autodiff import adjoint_gradient
+from ..quantum.circuit import ParamOp, ParameterizedCircuit
+from ..quantum.statevector import expectation_z_all, run_parameterized
+from ..utils.stats import accuracy, cross_entropy_with_logits, nll_loss, softmax
+from .encoders import EncoderSpec, build_encoder_ops
+
+__all__ = ["readout_matrix", "QNNModel"]
+
+
+def readout_matrix(n_qubits: int, n_classes: int) -> np.ndarray:
+    """The linear map from per-qubit Z expectations to class logits.
+
+    * ``n_classes == n_qubits``: identity (one qubit per class).
+    * 2-class on 4 qubits: qubits (0, 1) and (2, 3) are summed, following the
+      paper's readout description.
+    * Otherwise: qubits are partitioned into ``n_classes`` contiguous groups
+      and summed within each group.
+    """
+    if n_classes > n_qubits:
+        raise ValueError("cannot read out more classes than qubits")
+    matrix = np.zeros((n_classes, n_qubits))
+    if n_classes == n_qubits:
+        return np.eye(n_qubits)
+    bounds = np.linspace(0, n_qubits, n_classes + 1).astype(int)
+    for cls in range(n_classes):
+        matrix[cls, bounds[cls] : bounds[cls + 1]] = 1.0
+    return matrix
+
+
+@dataclass
+class QNNForward:
+    """Intermediate results of a forward pass (kept for the backward pass)."""
+
+    states: np.ndarray
+    expectations: np.ndarray
+    logits: np.ndarray
+
+
+class QNNModel:
+    """Encoder + trainable circuit + Z measurement + Softmax readout."""
+
+    def __init__(
+        self,
+        n_qubits: int,
+        n_classes: int,
+        encoder: Optional[EncoderSpec] = None,
+        trainable_ops: Optional[Sequence[ParamOp]] = None,
+    ) -> None:
+        self.n_qubits = int(n_qubits)
+        self.n_classes = int(n_classes)
+        self.encoder = encoder
+        self.circuit = ParameterizedCircuit(self.n_qubits)
+        if encoder is not None:
+            for op in build_encoder_ops(encoder):
+                self.circuit.add_op(op)
+        if trainable_ops:
+            for op in trainable_ops:
+                self.circuit.add_op(op)
+        self.readout = readout_matrix(self.n_qubits, self.n_classes)
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_circuit(
+        cls, circuit: ParameterizedCircuit, n_classes: int
+    ) -> "QNNModel":
+        """Wrap an existing parameterized circuit (encoder already included)."""
+        model = cls(circuit.n_qubits, n_classes, encoder=None, trainable_ops=None)
+        model.circuit = circuit
+        return model
+
+    def add_trainable(self, gate: str, qubits: Sequence[int]) -> Tuple[int, ...]:
+        """Append one trainable gate and return its new weight indices."""
+        return self.circuit.add_trainable(gate, qubits)
+
+    @property
+    def num_weights(self) -> int:
+        return self.circuit.num_weights
+
+    def init_weights(self, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        return self.circuit.init_weights(rng)
+
+    # -- noise-free forward / backward ----------------------------------------
+
+    def forward(self, weights: np.ndarray, features: np.ndarray) -> QNNForward:
+        states = run_parameterized(self.circuit, weights, features)
+        expectations = expectation_z_all(states)
+        logits = expectations @ self.readout.T
+        return QNNForward(states=states, expectations=expectations, logits=logits)
+
+    def loss(self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray):
+        """Noise-free cross-entropy loss and accuracy."""
+        out = self.forward(weights, features)
+        probs = softmax(out.logits)
+        return nll_loss(probs, labels), accuracy(out.logits, labels)
+
+    def loss_and_gradient(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> Tuple[float, np.ndarray, np.ndarray]:
+        """Cross-entropy loss, its gradient w.r.t. the weights, and the logits.
+
+        The classical part (Softmax + NLL + linear readout) is differentiated
+        in closed form; the chain into the circuit uses one adjoint pass with
+        per-sample effective-Z coefficients.
+        """
+        out = self.forward(weights, features)
+        loss_value, grad_logits = cross_entropy_with_logits(out.logits, labels)
+        grad_expectations = grad_logits @ self.readout
+        grads = adjoint_gradient(
+            self.circuit,
+            weights,
+            features,
+            z_coefficients=grad_expectations,
+            states_final=out.states,
+        )
+        return loss_value, grads, out.logits
+
+    # -- generic readout (shared with noisy evaluation) ------------------------
+
+    def logits_from_expectations(self, expectations: np.ndarray) -> np.ndarray:
+        return np.asarray(expectations) @ self.readout.T
+
+    def predict_from_expectations(self, expectations: np.ndarray) -> np.ndarray:
+        return np.argmax(self.logits_from_expectations(expectations), axis=-1)

@@ -1,0 +1,197 @@
+"""Density-matrix simulation with noise channels.
+
+This is the backend used by the performance estimator's "simulator with a
+noise model from real devices" mode and by the shot-based device backend.
+Density matrices are stored as tensors of shape ``(2,) * n + (2,) * n`` so
+that gates and Kraus operators are applied locally without building full
+``2**n x 2**n`` unitaries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .operators import PauliSum
+
+__all__ = [
+    "zero_density_matrix",
+    "apply_unitary",
+    "apply_kraus",
+    "density_probabilities",
+    "expectation_pauli_sum_dm",
+    "expectation_z_all_dm",
+    "purity",
+    "DensityMatrixSimulator",
+]
+
+
+def zero_density_matrix(n_qubits: int) -> np.ndarray:
+    """``|0..0><0..0|`` as a rank-2n tensor."""
+    rho = np.zeros((2,) * (2 * n_qubits), dtype=complex)
+    rho[(0,) * (2 * n_qubits)] = 1.0
+    return rho
+
+
+def _apply_left(rho: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], n: int):
+    """Apply ``matrix`` to the row (ket) indices of ``rho``."""
+    k = len(qubits)
+    reshaped = matrix.reshape((2,) * (2 * k))
+    axes = list(qubits)
+    out = np.tensordot(reshaped, rho, axes=(list(range(k, 2 * k)), axes))
+    return np.moveaxis(out, list(range(k)), axes)
+
+
+def _apply_right(rho: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], n: int):
+    """Apply ``matrix``'s conjugate transpose to the column (bra) indices."""
+    k = len(qubits)
+    conj = matrix.conj().reshape((2,) * (2 * k))
+    axes = [n + q for q in qubits]
+    out = np.tensordot(conj, rho, axes=(list(range(k, 2 * k)), axes))
+    return np.moveaxis(out, list(range(k)), axes)
+
+
+def apply_unitary(rho: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]):
+    """``U rho U†`` applied on ``qubits``."""
+    n = rho.ndim // 2
+    return _apply_right(_apply_left(rho, matrix, qubits, n), matrix, qubits, n)
+
+
+def kraus_to_superoperator(kraus_operators: Sequence[np.ndarray]) -> np.ndarray:
+    """Superoperator ``S[(a,b),(a',b')] = sum_i K_i[a,a'] conj(K_i)[b,b']``."""
+    dim = kraus_operators[0].shape[0]
+    superop = np.zeros((dim, dim, dim, dim), dtype=complex)
+    for kraus in kraus_operators:
+        superop += np.einsum("ac,bd->abcd", kraus, kraus.conj())
+    return superop
+
+
+def apply_kraus(
+    rho: np.ndarray, kraus_operators: Sequence[np.ndarray], qubits: Sequence[int]
+) -> np.ndarray:
+    """``sum_i K_i rho K_i†`` applied on ``qubits``.
+
+    Channels with many Kraus operators (e.g. two-qubit depolarizing) are
+    applied through their precomputed superoperator, which contracts the
+    density matrix once instead of once per Kraus term.
+    """
+    n = rho.ndim // 2
+    if len(kraus_operators) <= 2:
+        out = np.zeros_like(rho)
+        for kraus in kraus_operators:
+            out = out + _apply_right(
+                _apply_left(rho, kraus, qubits, n), kraus, qubits, n
+            )
+        return out
+    k = len(qubits)
+    superop = kraus_to_superoperator(kraus_operators)
+    reshaped = superop.reshape((2,) * (4 * k))
+    axes = [q for q in qubits] + [n + q for q in qubits]
+    moved = np.tensordot(reshaped, rho, axes=(list(range(2 * k, 4 * k)), axes))
+    return np.moveaxis(moved, list(range(2 * k)), axes)
+
+
+def density_probabilities(rho: np.ndarray) -> np.ndarray:
+    """Computational-basis probabilities (the diagonal of rho)."""
+    n = rho.ndim // 2
+    dim = 2**n
+    matrix = rho.reshape(dim, dim)
+    probs = np.real(np.diag(matrix)).copy()
+    probs = np.clip(probs, 0.0, None)
+    total = probs.sum()
+    if total > 0:
+        probs /= total
+    return probs
+
+
+def expectation_z_all_dm(rho: np.ndarray) -> np.ndarray:
+    """Z expectation on every qubit computed from the diagonal of rho."""
+    n = rho.ndim // 2
+    probs = density_probabilities(rho).reshape((2,) * n)
+    out = np.zeros(n)
+    for qubit in range(n):
+        axes = tuple(a for a in range(n) if a != qubit)
+        marginal = probs.sum(axis=axes)
+        out[qubit] = marginal[0] - marginal[1]
+    return out
+
+
+def expectation_pauli_sum_dm(rho: np.ndarray, observable: PauliSum) -> float:
+    """``Tr(H rho)`` for a Pauli-sum observable."""
+    from .gates import gate_matrix
+
+    n = rho.ndim // 2
+    total = 0.0
+    for term in observable.terms:
+        if term.is_identity:
+            total += term.coefficient
+            continue
+        transformed = rho
+        for qubit, pauli in term.paulis:
+            transformed = _apply_left(
+                transformed, gate_matrix(pauli.lower()), (qubit,), n
+            )
+        dim = 2**n
+        total += term.coefficient * float(
+            np.real(np.trace(transformed.reshape(dim, dim)))
+        )
+    return total
+
+
+def purity(rho: np.ndarray) -> float:
+    """``Tr(rho^2)`` — 1 for pure states, < 1 for mixed states."""
+    n = rho.ndim // 2
+    dim = 2**n
+    matrix = rho.reshape(dim, dim)
+    return float(np.real(np.trace(matrix @ matrix)))
+
+
+class DensityMatrixSimulator:
+    """Runs concrete circuits with an optional noise model.
+
+    The noise model (see :mod:`repro.noise.models`) supplies Kraus channels to
+    insert after each instruction plus per-qubit readout confusion matrices.
+    """
+
+    def __init__(self, n_qubits: int, noise_model=None) -> None:
+        self.n_qubits = int(n_qubits)
+        self.noise_model = noise_model
+
+    def run(
+        self, circuit: QuantumCircuit, initial: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if circuit.n_qubits != self.n_qubits:
+            raise ValueError("circuit size does not match simulator size")
+        rho = zero_density_matrix(self.n_qubits) if initial is None else initial.copy()
+        for instruction in circuit.instructions:
+            rho = apply_unitary(rho, instruction.matrix(), instruction.qubits)
+            if self.noise_model is not None:
+                for kraus_ops, qubits in self.noise_model.channels_for(instruction):
+                    rho = apply_kraus(rho, kraus_ops, qubits)
+        return rho
+
+    def probabilities(
+        self, circuit: QuantumCircuit, with_readout_error: bool = True
+    ) -> np.ndarray:
+        """Final measurement probabilities, including readout confusion."""
+        rho = self.run(circuit)
+        probs = density_probabilities(rho)
+        if with_readout_error and self.noise_model is not None:
+            probs = self.noise_model.apply_readout_error(probs, self.n_qubits)
+        return probs
+
+    def expectation_z_all(
+        self, circuit: QuantumCircuit, with_readout_error: bool = True
+    ) -> np.ndarray:
+        """Per-qubit Z expectations of the noisy output distribution."""
+        probs = self.probabilities(circuit, with_readout_error).reshape(
+            (2,) * self.n_qubits
+        )
+        out = np.zeros(self.n_qubits)
+        for qubit in range(self.n_qubits):
+            axes = tuple(a for a in range(self.n_qubits) if a != qubit)
+            marginal = probs.sum(axis=axes)
+            out[qubit] = marginal[0] - marginal[1]
+        return out

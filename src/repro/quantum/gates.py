@@ -1,0 +1,364 @@
+"""Gate library: unitary matrices and analytic parameter derivatives.
+
+Every gate used by the six QuantumNAS design spaces (Section IV of the paper)
+is defined here, along with the derivative of its matrix with respect to each
+of its parameters.  The derivatives feed the adjoint-mode differentiation in
+:mod:`repro.quantum.autodiff` (the "backprop" training mode of TorchQuantum).
+
+Conventions
+-----------
+* Qubit 0 is the most-significant wire of a multi-qubit gate matrix, matching
+  the ordering used by :mod:`repro.quantum.statevector`.
+* Rotation gates follow the standard convention ``R_P(theta) =
+  exp(-i * theta / 2 * P)``.
+* Controlled gates place the control on the first qubit of the instruction.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "GateSpec",
+    "GATES",
+    "gate_matrix",
+    "gate_gradients",
+    "gate_num_params",
+    "gate_num_qubits",
+    "is_parameterized",
+    "controlled",
+    "PAULI_I",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+]
+
+# ---------------------------------------------------------------------------
+# Elementary matrices
+# ---------------------------------------------------------------------------
+
+PAULI_I = np.eye(2, dtype=complex)
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+_H = np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2)
+_S = np.diag([1, 1j]).astype(complex)
+_SDG = np.diag([1, -1j]).astype(complex)
+_T = np.diag([1, cmath.exp(1j * math.pi / 4)]).astype(complex)
+_TDG = np.diag([1, cmath.exp(-1j * math.pi / 4)]).astype(complex)
+_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+_SXDG = _SX.conj().T
+
+
+def _matrix_sqrt(unitary: np.ndarray) -> np.ndarray:
+    """Principal square root of a unitary matrix via eigendecomposition."""
+    eigvals, eigvecs = np.linalg.eig(unitary)
+    return eigvecs @ np.diag(np.sqrt(eigvals.astype(complex))) @ np.linalg.inv(eigvecs)
+
+
+_SH = _matrix_sqrt(_H)  # the sqrt(H) layer used by the RXYZ design space
+
+_CX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+_CZ = np.diag([1, 1, 1, -1]).astype(complex)
+_CY = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, -1j], [0, 0, 1j, 0]], dtype=complex
+)
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+_SQSWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0.5 + 0.5j, 0.5 - 0.5j, 0],
+        [0, 0.5 - 0.5j, 0.5 + 0.5j, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+_ISWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+
+def controlled(unitary: np.ndarray) -> np.ndarray:
+    """Return the controlled version of a single/multi-qubit unitary.
+
+    The control is prepended as the most-significant qubit.
+    """
+    dim = unitary.shape[0]
+    out = np.eye(2 * dim, dtype=complex)
+    out[dim:, dim:] = unitary
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Parameterized gate constructors (matrix + per-parameter derivative)
+# ---------------------------------------------------------------------------
+
+
+def _rot_pair(pauli: np.ndarray) -> Tuple[Callable, Callable]:
+    """Matrix and gradient functions for ``exp(-i theta/2 * P)``."""
+    eye = np.eye(pauli.shape[0], dtype=complex)
+
+    def matrix(params: Sequence[float]) -> np.ndarray:
+        theta = params[0]
+        return math.cos(theta / 2) * eye - 1j * math.sin(theta / 2) * pauli
+
+    def grads(params: Sequence[float]) -> Tuple[np.ndarray, ...]:
+        theta = params[0]
+        return (
+            -0.5 * math.sin(theta / 2) * eye - 0.5j * math.cos(theta / 2) * pauli,
+        )
+
+    return matrix, grads
+
+
+_rx_matrix, _rx_grads = _rot_pair(PAULI_X)
+_ry_matrix, _ry_grads = _rot_pair(PAULI_Y)
+_rz_matrix, _rz_grads = _rot_pair(PAULI_Z)
+_rxx_matrix, _rxx_grads = _rot_pair(np.kron(PAULI_X, PAULI_X))
+_ryy_matrix, _ryy_grads = _rot_pair(np.kron(PAULI_Y, PAULI_Y))
+_rzz_matrix, _rzz_grads = _rot_pair(np.kron(PAULI_Z, PAULI_Z))
+_rzx_matrix, _rzx_grads = _rot_pair(np.kron(PAULI_Z, PAULI_X))
+
+
+def _u1_matrix(params: Sequence[float]) -> np.ndarray:
+    lam = params[0]
+    return np.diag([1.0, cmath.exp(1j * lam)]).astype(complex)
+
+
+def _u1_grads(params: Sequence[float]) -> Tuple[np.ndarray, ...]:
+    lam = params[0]
+    return (np.diag([0.0, 1j * cmath.exp(1j * lam)]).astype(complex),)
+
+
+def _u2_matrix(params: Sequence[float]) -> np.ndarray:
+    phi, lam = params
+    inv_sqrt2 = 1.0 / math.sqrt(2)
+    return inv_sqrt2 * np.array(
+        [
+            [1.0, -cmath.exp(1j * lam)],
+            [cmath.exp(1j * phi), cmath.exp(1j * (phi + lam))],
+        ],
+        dtype=complex,
+    )
+
+
+def _u2_grads(params: Sequence[float]) -> Tuple[np.ndarray, ...]:
+    phi, lam = params
+    inv_sqrt2 = 1.0 / math.sqrt(2)
+    d_phi = inv_sqrt2 * np.array(
+        [
+            [0.0, 0.0],
+            [1j * cmath.exp(1j * phi), 1j * cmath.exp(1j * (phi + lam))],
+        ],
+        dtype=complex,
+    )
+    d_lam = inv_sqrt2 * np.array(
+        [
+            [0.0, -1j * cmath.exp(1j * lam)],
+            [0.0, 1j * cmath.exp(1j * (phi + lam))],
+        ],
+        dtype=complex,
+    )
+    return (d_phi, d_lam)
+
+
+def _u3_matrix(params: Sequence[float]) -> np.ndarray:
+    theta, phi, lam = params
+    cos = math.cos(theta / 2)
+    sin = math.sin(theta / 2)
+    return np.array(
+        [
+            [cos, -cmath.exp(1j * lam) * sin],
+            [cmath.exp(1j * phi) * sin, cmath.exp(1j * (phi + lam)) * cos],
+        ],
+        dtype=complex,
+    )
+
+
+def _u3_grads(params: Sequence[float]) -> Tuple[np.ndarray, ...]:
+    theta, phi, lam = params
+    cos = math.cos(theta / 2)
+    sin = math.sin(theta / 2)
+    e_lam = cmath.exp(1j * lam)
+    e_phi = cmath.exp(1j * phi)
+    e_pl = cmath.exp(1j * (phi + lam))
+    d_theta = 0.5 * np.array(
+        [[-sin, -e_lam * cos], [e_phi * cos, -e_pl * sin]], dtype=complex
+    )
+    d_phi = np.array(
+        [[0.0, 0.0], [1j * e_phi * sin, 1j * e_pl * cos]], dtype=complex
+    )
+    d_lam = np.array(
+        [[0.0, -1j * e_lam * sin], [0.0, 1j * e_pl * cos]], dtype=complex
+    )
+    return (d_theta, d_phi, d_lam)
+
+
+def _controlled_param(
+    matrix_fn: Callable[[Sequence[float]], np.ndarray],
+    grads_fn: Callable[[Sequence[float]], Tuple[np.ndarray, ...]],
+) -> Tuple[Callable, Callable]:
+    """Lift a parameterized single-qubit gate to its controlled version."""
+
+    def matrix(params: Sequence[float]) -> np.ndarray:
+        return controlled(matrix_fn(params))
+
+    def grads(params: Sequence[float]) -> Tuple[np.ndarray, ...]:
+        outs = []
+        for grad in grads_fn(params):
+            block = np.zeros((2 * grad.shape[0], 2 * grad.shape[0]), dtype=complex)
+            block[grad.shape[0]:, grad.shape[0]:] = grad
+            outs.append(block)
+        return tuple(outs)
+
+    return matrix, grads
+
+
+_cu3_matrix, _cu3_grads = _controlled_param(_u3_matrix, _u3_grads)
+_cu1_matrix, _cu1_grads = _controlled_param(_u1_matrix, _u1_grads)
+_crx_matrix, _crx_grads = _controlled_param(_rx_matrix, _rx_grads)
+_cry_matrix, _cry_grads = _controlled_param(_ry_matrix, _ry_grads)
+_crz_matrix, _crz_grads = _controlled_param(_rz_matrix, _rz_grads)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate type."""
+
+    name: str
+    num_qubits: int
+    num_params: int
+    matrix_fn: Callable[[Sequence[float]], np.ndarray]
+    grads_fn: Callable[[Sequence[float]], Tuple[np.ndarray, ...]] | None = None
+
+    @property
+    def is_parameterized(self) -> bool:
+        return self.num_params > 0
+
+
+def _fixed(name: str, num_qubits: int, matrix: np.ndarray) -> GateSpec:
+    frozen = matrix.copy()
+    frozen.setflags(write=False)
+    return GateSpec(name, num_qubits, 0, lambda _params, _m=frozen: _m)
+
+
+GATES: Dict[str, GateSpec] = {}
+
+
+def _register(spec: GateSpec) -> None:
+    GATES[spec.name] = spec
+
+
+for _name, _nq, _mat in [
+    ("i", 1, PAULI_I),
+    ("x", 1, PAULI_X),
+    ("y", 1, PAULI_Y),
+    ("z", 1, PAULI_Z),
+    ("h", 1, _H),
+    ("sh", 1, _SH),
+    ("s", 1, _S),
+    ("sdg", 1, _SDG),
+    ("t", 1, _T),
+    ("tdg", 1, _TDG),
+    ("sx", 1, _SX),
+    ("sxdg", 1, _SXDG),
+    ("cx", 2, _CX),
+    ("cz", 2, _CZ),
+    ("cy", 2, _CY),
+    ("swap", 2, _SWAP),
+    ("sqswap", 2, _SQSWAP),
+    ("iswap", 2, _ISWAP),
+]:
+    _register(_fixed(_name, _nq, _mat))
+
+for _name, _nq, _np_, _mfn, _gfn in [
+    ("rx", 1, 1, _rx_matrix, _rx_grads),
+    ("ry", 1, 1, _ry_matrix, _ry_grads),
+    ("rz", 1, 1, _rz_matrix, _rz_grads),
+    ("u1", 1, 1, _u1_matrix, _u1_grads),
+    ("u2", 1, 2, _u2_matrix, _u2_grads),
+    ("u3", 1, 3, _u3_matrix, _u3_grads),
+    ("rxx", 2, 1, _rxx_matrix, _rxx_grads),
+    ("ryy", 2, 1, _ryy_matrix, _ryy_grads),
+    ("rzz", 2, 1, _rzz_matrix, _rzz_grads),
+    ("rzx", 2, 1, _rzx_matrix, _rzx_grads),
+    ("cu1", 2, 1, _cu1_matrix, _cu1_grads),
+    ("cu3", 2, 3, _cu3_matrix, _cu3_grads),
+    ("crx", 2, 1, _crx_matrix, _crx_grads),
+    ("cry", 2, 1, _cry_matrix, _cry_grads),
+    ("crz", 2, 1, _crz_matrix, _crz_grads),
+]:
+    _register(GateSpec(_name, _nq, _np_, _mfn, _gfn))
+
+# Aliases used by the paper's design-space descriptions.
+_ALIASES = {
+    "cnot": "cx",
+    "zz": "rzz",
+    "zx": "rzx",
+    "xx": "rxx",
+    "p": "u1",
+    "phase": "u1",
+    "cp": "cu1",
+}
+
+
+def canonical_name(name: str) -> str:
+    """Resolve gate aliases (e.g. ``cnot`` -> ``cx``) to the registry name."""
+    lowered = name.lower()
+    return _ALIASES.get(lowered, lowered)
+
+
+def gate_spec(name: str) -> GateSpec:
+    """Look up the :class:`GateSpec` for ``name`` (aliases allowed)."""
+    key = canonical_name(name)
+    if key not in GATES:
+        raise KeyError(f"unknown gate '{name}'")
+    return GATES[key]
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Return the unitary matrix of gate ``name`` with ``params``."""
+    spec = gate_spec(name)
+    if len(params) != spec.num_params:
+        raise ValueError(
+            f"gate '{name}' expects {spec.num_params} parameters, got {len(params)}"
+        )
+    return np.asarray(spec.matrix_fn(tuple(params)), dtype=complex)
+
+
+def gate_gradients(name: str, params: Sequence[float]) -> Tuple[np.ndarray, ...]:
+    """Return ``dU/dp`` for each parameter ``p`` of gate ``name``."""
+    spec = gate_spec(name)
+    if spec.grads_fn is None:
+        return ()
+    return spec.grads_fn(tuple(params))
+
+
+def gate_num_params(name: str) -> int:
+    """Number of free parameters of gate ``name``."""
+    return gate_spec(name).num_params
+
+
+def gate_num_qubits(name: str) -> int:
+    """Number of qubits gate ``name`` acts on."""
+    return gate_spec(name).num_qubits
+
+
+def is_parameterized(name: str) -> bool:
+    """Whether gate ``name`` carries trainable parameters."""
+    return gate_spec(name).is_parameterized

@@ -1,0 +1,146 @@
+"""Shot-based measurement utilities.
+
+Used by the device backend (finite-shot runs, as on real IBMQ machines) and by
+the VQE measurement pipeline (basis rotations + Z-basis counts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .operators import PauliString, PauliSum, group_commuting
+
+__all__ = [
+    "sample_counts",
+    "counts_to_probabilities",
+    "expectation_z_from_probabilities",
+    "expectation_z_all_from_probabilities",
+    "basis_change_circuit",
+    "pauli_expectation_from_probabilities",
+    "MeasurementPlan",
+]
+
+
+def sample_counts(
+    probabilities: np.ndarray, shots: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Sample ``shots`` measurement outcomes; returns counts per basis state."""
+    rng = rng or np.random.default_rng()
+    probs = np.clip(np.asarray(probabilities, dtype=float), 0.0, None)
+    total = probs.sum()
+    if total <= 0:
+        raise ValueError("probability vector sums to zero")
+    probs = probs / total
+    return rng.multinomial(shots, probs).astype(float)
+
+
+def counts_to_probabilities(counts: np.ndarray) -> np.ndarray:
+    counts = np.asarray(counts, dtype=float)
+    total = counts.sum()
+    if total <= 0:
+        raise ValueError("no counts recorded")
+    return counts / total
+
+
+def expectation_z_from_probabilities(
+    probabilities: np.ndarray, qubit: int, n_qubits: int
+) -> float:
+    """Z expectation on one qubit from a basis-state probability vector."""
+    probs = np.asarray(probabilities, dtype=float).reshape((2,) * n_qubits)
+    axes = tuple(a for a in range(n_qubits) if a != qubit)
+    marginal = probs.sum(axis=axes)
+    return float(marginal[0] - marginal[1])
+
+
+def expectation_z_all_from_probabilities(
+    probabilities: np.ndarray, n_qubits: int
+) -> np.ndarray:
+    return np.array(
+        [
+            expectation_z_from_probabilities(probabilities, qubit, n_qubits)
+            for qubit in range(n_qubits)
+        ]
+    )
+
+
+def basis_change_circuit(n_qubits: int, bases: Dict[int, str]) -> QuantumCircuit:
+    """Circuit rotating the given per-qubit Pauli bases onto the Z axis."""
+    circuit = QuantumCircuit(n_qubits)
+    for qubit, pauli in sorted(bases.items()):
+        pauli = pauli.upper()
+        if pauli == "X":
+            circuit.add("h", (qubit,))
+        elif pauli == "Y":
+            circuit.add("sdg", (qubit,))
+            circuit.add("h", (qubit,))
+        elif pauli == "Z":
+            continue
+        else:
+            raise ValueError(f"invalid Pauli basis '{pauli}'")
+    return circuit
+
+
+def pauli_expectation_from_probabilities(
+    probabilities: np.ndarray, term: PauliString, n_qubits: int
+) -> float:
+    """Expectation of a Pauli string given Z-basis probabilities *after* the
+    appropriate basis change has already been applied to the circuit."""
+    if term.is_identity:
+        return term.coefficient
+    probs = np.asarray(probabilities, dtype=float).reshape((2,) * n_qubits)
+    qubits = term.qubits
+    axes = tuple(a for a in range(n_qubits) if a not in qubits)
+    marginal = probs.sum(axis=axes) if axes else probs
+    # marginal is indexed by the retained qubits in increasing order
+    value = 0.0
+    for outcome in np.ndindex(*marginal.shape):
+        parity = (-1) ** (sum(outcome) % 2)
+        value += parity * marginal[outcome]
+    return term.coefficient * float(value)
+
+
+class MeasurementPlan:
+    """Groups a Pauli-sum observable into simultaneously measurable settings.
+
+    Each group is measured by appending one basis-change circuit and reading
+    all qubits in the Z basis — exactly how VQE expectation values are
+    estimated on hardware ("we prepare the state multiple times for
+    measurements on different qubits and bases").
+    """
+
+    def __init__(self, observable: PauliSum, n_qubits: int) -> None:
+        self.observable = observable
+        self.n_qubits = n_qubits
+        self.groups: List[List[PauliString]] = group_commuting(observable)
+        self.constant = observable.constant
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def settings(self) -> List[Tuple[QuantumCircuit, List[PauliString]]]:
+        """(basis-change circuit, terms measured in that setting) pairs."""
+        out = []
+        for group in self.groups:
+            bases: Dict[int, str] = {}
+            for term in group:
+                for qubit, pauli in term.paulis:
+                    bases[qubit] = pauli
+            out.append((basis_change_circuit(self.n_qubits, bases), group))
+        return out
+
+    def expectation_from_group_probabilities(
+        self, group_probabilities: Sequence[np.ndarray]
+    ) -> float:
+        """Combine per-setting probability vectors into <H>."""
+        if len(group_probabilities) != len(self.groups):
+            raise ValueError("one probability vector per measurement group required")
+        total = self.constant
+        for probs, group in zip(group_probabilities, self.groups):
+            for term in group:
+                total += pauli_expectation_from_probabilities(
+                    probs, term, self.n_qubits
+                )
+        return float(total)

@@ -1,0 +1,178 @@
+"""Pauli-string observables and weighted sums of them.
+
+These are the observables measured by the QML readout layer (single-qubit
+Pauli-Z expectations) and by VQE (molecular Hamiltonians expressed as weighted
+sums of Pauli strings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .gates import PAULI_I, PAULI_X, PAULI_Y, PAULI_Z
+
+__all__ = ["PauliString", "PauliSum", "group_commuting"]
+
+_PAULI_MATRICES = {"I": PAULI_I, "X": PAULI_X, "Y": PAULI_Y, "Z": PAULI_Z}
+
+
+@dataclass(frozen=True)
+class PauliString:
+    """A tensor product of Pauli operators with a real coefficient.
+
+    ``paulis`` maps qubit index to one of ``"X"``, ``"Y"``, ``"Z"``.  Qubits
+    absent from the mapping carry the identity.
+    """
+
+    coefficient: float
+    paulis: Tuple[Tuple[int, str], ...]
+
+    @staticmethod
+    def from_dict(coefficient: float, paulis: Mapping[int, str]) -> "PauliString":
+        cleaned = {}
+        for qubit, label in paulis.items():
+            label = label.upper()
+            if label == "I":
+                continue
+            if label not in ("X", "Y", "Z"):
+                raise ValueError(f"invalid Pauli label '{label}'")
+            cleaned[int(qubit)] = label
+        ordered = tuple(sorted(cleaned.items()))
+        return PauliString(float(coefficient), ordered)
+
+    @staticmethod
+    def from_label(coefficient: float, label: str) -> "PauliString":
+        """Build from a dense label, e.g. ``"XIZY"`` (qubit 0 first)."""
+        mapping = {i: ch for i, ch in enumerate(label.upper()) if ch != "I"}
+        return PauliString.from_dict(coefficient, mapping)
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        return tuple(q for q, _ in self.paulis)
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.paulis
+
+    def label(self, n_qubits: int) -> str:
+        chars = ["I"] * n_qubits
+        for qubit, pauli in self.paulis:
+            chars[qubit] = pauli
+        return "".join(chars)
+
+    def weight(self) -> int:
+        """Number of non-identity factors (Pauli weight)."""
+        return len(self.paulis)
+
+    def to_matrix(self, n_qubits: int) -> np.ndarray:
+        """Dense matrix representation (for small systems / tests)."""
+        mapping = dict(self.paulis)
+        out = np.array([[1.0 + 0.0j]])
+        for qubit in range(n_qubits):
+            out = np.kron(out, _PAULI_MATRICES[mapping.get(qubit, "I")])
+        return self.coefficient * out
+
+    def with_coefficient(self, coefficient: float) -> "PauliString":
+        return PauliString(float(coefficient), self.paulis)
+
+    def commutes_qubitwise(self, other: "PauliString") -> bool:
+        """Qubit-wise commutation: shared qubits must carry identical Paulis."""
+        mine = dict(self.paulis)
+        for qubit, pauli in other.paulis:
+            if qubit in mine and mine[qubit] != pauli:
+                return False
+        return True
+
+
+@dataclass
+class PauliSum:
+    """A weighted sum of :class:`PauliString` terms."""
+
+    terms: List[PauliString] = field(default_factory=list)
+
+    @staticmethod
+    def from_terms(terms: Iterable[Tuple[float, Mapping[int, str]]]) -> "PauliSum":
+        return PauliSum([PauliString.from_dict(c, p) for c, p in terms])
+
+    @staticmethod
+    def from_labels(terms: Iterable[Tuple[float, str]]) -> "PauliSum":
+        return PauliSum([PauliString.from_label(c, label) for c, label in terms])
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __iter__(self):
+        return iter(self.terms)
+
+    def __add__(self, other: "PauliSum") -> "PauliSum":
+        return PauliSum(self.terms + other.terms)
+
+    @property
+    def n_qubits_min(self) -> int:
+        """Smallest register size that can host every term."""
+        highest = -1
+        for term in self.terms:
+            if term.paulis:
+                highest = max(highest, max(term.qubits))
+        return highest + 1
+
+    @property
+    def constant(self) -> float:
+        """Sum of identity-term coefficients."""
+        return sum(t.coefficient for t in self.terms if t.is_identity)
+
+    def simplify(self, tol: float = 1e-12) -> "PauliSum":
+        """Merge duplicate Pauli strings and drop negligible terms."""
+        merged: Dict[Tuple[Tuple[int, str], ...], float] = {}
+        for term in self.terms:
+            merged[term.paulis] = merged.get(term.paulis, 0.0) + term.coefficient
+        terms = [
+            PauliString(coeff, paulis)
+            for paulis, coeff in merged.items()
+            if abs(coeff) > tol
+        ]
+        terms.sort(key=lambda t: (t.weight(), t.paulis))
+        return PauliSum(terms)
+
+    def to_matrix(self, n_qubits: int) -> np.ndarray:
+        """Dense Hamiltonian matrix (exponential in ``n_qubits``)."""
+        dim = 2**n_qubits
+        out = np.zeros((dim, dim), dtype=complex)
+        for term in self.terms:
+            out += term.to_matrix(n_qubits)
+        return out
+
+    def ground_energy_dense(self, n_qubits: int) -> float:
+        """Exact ground-state energy from dense diagonalisation."""
+        eigvals = np.linalg.eigvalsh(self.to_matrix(n_qubits))
+        return float(eigvals[0])
+
+    def scaled(self, factor: float) -> "PauliSum":
+        return PauliSum([t.with_coefficient(t.coefficient * factor) for t in self.terms])
+
+    def shifted(self, constant: float) -> "PauliSum":
+        return PauliSum(self.terms + [PauliString(float(constant), ())])
+
+
+def group_commuting(observable: PauliSum) -> List[List[PauliString]]:
+    """Greedy grouping of terms into qubit-wise commuting measurement groups.
+
+    VQE measures each group with one circuit (one basis-rotation setting), so
+    fewer groups means fewer device runs — the same strategy Qiskit uses.
+    """
+    groups: List[List[PauliString]] = []
+    for term in sorted(observable.terms, key=lambda t: -t.weight()):
+        if term.is_identity:
+            continue
+        placed = False
+        for group in groups:
+            if all(term.commutes_qubitwise(member) for member in group):
+                group.append(term)
+                placed = True
+                break
+        if not placed:
+            groups.append([term])
+    return groups

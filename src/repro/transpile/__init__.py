@@ -1,0 +1,51 @@
+"""Transpiler: layout, routing, basis decomposition and optimization passes."""
+
+from .compiler import CompiledCircuit, transpile
+from .decompose import (
+    BASIS_GATES,
+    compiled_gate_count_u3,
+    decompose_circuit,
+    decompose_instruction,
+    decompose_u3,
+    u3_angles_from_matrix,
+)
+from .layout import (
+    Layout,
+    layout_fidelity_score,
+    layout_from_sequence,
+    noise_adaptive_layout,
+    random_layout,
+    sabre_layout,
+    trivial_layout,
+)
+from .passes import (
+    cancel_adjacent_inverse_cx,
+    drop_identity_rotations,
+    merge_adjacent_rz,
+    resynthesize_single_qubit_runs,
+)
+from .routing import RoutedCircuit, route_circuit
+
+__all__ = [
+    "CompiledCircuit",
+    "transpile",
+    "BASIS_GATES",
+    "compiled_gate_count_u3",
+    "decompose_circuit",
+    "decompose_instruction",
+    "decompose_u3",
+    "u3_angles_from_matrix",
+    "Layout",
+    "layout_fidelity_score",
+    "layout_from_sequence",
+    "noise_adaptive_layout",
+    "random_layout",
+    "sabre_layout",
+    "trivial_layout",
+    "cancel_adjacent_inverse_cx",
+    "drop_identity_rotations",
+    "merge_adjacent_rz",
+    "resynthesize_single_qubit_runs",
+    "RoutedCircuit",
+    "route_circuit",
+]

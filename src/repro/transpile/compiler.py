@@ -1,0 +1,183 @@
+"""The transpiler front-end: layout + routing + decomposition + optimization.
+
+``transpile`` mirrors the Qiskit flow the paper configures (optimization level
+2 by default, level 3 for the Sabre / noise-adaptive baselines): the searched
+qubit mapping is passed as the *initial layout*, SWAPs are inserted for the
+device's coupling map, everything is lowered to the CX/SX/RZ/X basis and then
+cleaned up by the optimization passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..devices.library import Device
+from ..quantum.circuit import QuantumCircuit
+from ..utils.rng import ensure_rng
+from .decompose import decompose_circuit
+from .layout import (
+    Layout,
+    layout_from_sequence,
+    noise_adaptive_layout,
+    sabre_layout,
+    trivial_layout,
+)
+from .passes import (
+    cancel_adjacent_inverse_cx,
+    drop_identity_rotations,
+    merge_adjacent_rz,
+    resynthesize_single_qubit_runs,
+)
+from .routing import RoutedCircuit, route_circuit
+
+__all__ = ["CompiledCircuit", "transpile"]
+
+LayoutSpec = Union[str, Layout, Sequence[int], None]
+
+
+@dataclass
+class CompiledCircuit:
+    """A compiled circuit plus the statistics the paper reports (Table II)."""
+
+    circuit: QuantumCircuit            # physical circuit over device.n_qubits wires
+    device: Device
+    initial_layout: Layout
+    final_layout: Layout
+    used_qubits: Tuple[int, ...]
+    num_swaps: int
+
+    @property
+    def depth(self) -> int:
+        return self.circuit.depth()
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.circuit)
+
+    @property
+    def num_single_qubit_gates(self) -> int:
+        return self.circuit.num_single_qubit_gates()
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        return self.circuit.num_two_qubit_gates()
+
+    def gate_counts(self) -> Dict[str, int]:
+        return self.circuit.count_ops()
+
+    def success_rate(self) -> float:
+        """Estimated success probability under the device's noise model."""
+        model = self.device.noise_model()
+        rate = 1.0
+        for instruction in self.circuit.instructions:
+            rate *= 1.0 - model.instruction_error(instruction)
+        for qubit in self.used_qubits:
+            rate *= 1.0 - model.readout_error(qubit)
+        return max(rate, 1e-12)
+
+    def reduced_circuit(self) -> Tuple[QuantumCircuit, Tuple[int, ...]]:
+        """Re-index the physical circuit onto only the qubits it uses.
+
+        Returns the reduced circuit and the physical qubits (in order) that
+        its wires correspond to — this keeps noisy simulation of circuits on
+        large devices tractable.
+        """
+        used = self.used_qubits
+        index = {phys: i for i, phys in enumerate(used)}
+        reduced = QuantumCircuit(max(len(used), 1))
+        for instruction in self.circuit.instructions:
+            reduced.add(
+                instruction.gate,
+                tuple(index[q] for q in instruction.qubits),
+                instruction.params,
+            )
+        return reduced, used
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "depth": self.depth,
+            "n_gates": self.num_gates,
+            "n_1q": self.num_single_qubit_gates,
+            "n_2q": self.num_two_qubit_gates,
+            "n_swaps_inserted": self.num_swaps,
+            "success_rate": self.success_rate(),
+        }
+
+
+def _resolve_layout(
+    circuit: QuantumCircuit,
+    device: Device,
+    initial_layout: LayoutSpec,
+    rng: np.random.Generator,
+) -> Layout:
+    if initial_layout is None or initial_layout == "trivial":
+        return trivial_layout(circuit.n_qubits, device)
+    if isinstance(initial_layout, str):
+        if initial_layout == "noise_adaptive":
+            return noise_adaptive_layout(circuit, device)
+        if initial_layout == "sabre":
+            return sabre_layout(circuit, device, rng=rng)
+        raise ValueError(f"unknown layout strategy '{initial_layout}'")
+    if isinstance(initial_layout, dict):
+        return dict(initial_layout)
+    return layout_from_sequence(list(initial_layout), device)
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    device: Device,
+    initial_layout: LayoutSpec = None,
+    optimization_level: int = 2,
+    seed: Optional[int] = None,
+) -> CompiledCircuit:
+    """Compile a logical circuit for a device.
+
+    Parameters
+    ----------
+    initial_layout:
+        ``None``/``"trivial"``, ``"noise_adaptive"``, ``"sabre"``, an explicit
+        ``{logical: physical}`` dict, or a sequence of physical qubits (the
+        encoding used by the QuantumNAS qubit-mapping gene).
+    optimization_level:
+        0 — decompose only; 1 — cancel adjacent CX and merge RZ; 2 — also
+        re-synthesize single-qubit runs; 3 — additionally try SABRE layouts
+        and keep the compilation with the fewest two-qubit gates.
+    """
+    if not 0 <= optimization_level <= 3:
+        raise ValueError("optimization_level must be between 0 and 3")
+    rng = ensure_rng(seed)
+
+    def compile_with_layout(layout: Layout) -> CompiledCircuit:
+        routed: RoutedCircuit = route_circuit(circuit, device, layout)
+        lowered = decompose_circuit(routed.circuit)
+        if optimization_level >= 1:
+            lowered = cancel_adjacent_inverse_cx(lowered)
+            lowered = merge_adjacent_rz(lowered)
+            lowered = drop_identity_rotations(lowered)
+        if optimization_level >= 2:
+            lowered = resynthesize_single_qubit_runs(lowered)
+            lowered = cancel_adjacent_inverse_cx(lowered)
+            lowered = merge_adjacent_rz(lowered)
+        return CompiledCircuit(
+            circuit=lowered,
+            device=device,
+            initial_layout=dict(layout),
+            final_layout=routed.final_layout,
+            used_qubits=routed.used_qubits,
+            num_swaps=routed.num_swaps,
+        )
+
+    base_layout = _resolve_layout(circuit, device, initial_layout, rng)
+    compiled = compile_with_layout(base_layout)
+
+    if optimization_level >= 3:
+        candidates = [compiled]
+        alternative = sabre_layout(circuit, device, n_trials=4, rng=rng)
+        candidates.append(compile_with_layout(alternative))
+        compiled = min(
+            candidates, key=lambda c: (c.num_two_qubit_gates, c.depth)
+        )
+    return compiled

@@ -1,0 +1,239 @@
+"""Decomposition of circuits into the IBMQ basis gate set (CX, SX, RZ, X).
+
+The gate-count bookkeeping here drives the pruning analysis in the paper:
+``U3(theta, phi, lambda)`` compiles to 5 basis gates, while zeroing one or two
+of its angles reduces the compiled count to 4 or 1 — which is exactly why
+fine-grained (per-angle) pruning reduces noise.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..quantum.circuit import Instruction, QuantumCircuit
+
+__all__ = [
+    "BASIS_GATES",
+    "u3_angles_from_matrix",
+    "decompose_u3",
+    "decompose_instruction",
+    "decompose_circuit",
+    "compiled_gate_count_u3",
+]
+
+BASIS_GATES = ("cx", "sx", "rz", "x")
+
+_TWO_PI = 2.0 * math.pi
+
+
+def _normalize_angle(angle: float) -> float:
+    """Wrap an angle into ``(-pi, pi]``."""
+    wrapped = math.fmod(angle, _TWO_PI)
+    if wrapped > math.pi:
+        wrapped -= _TWO_PI
+    elif wrapped <= -math.pi:
+        wrapped += _TWO_PI
+    return wrapped
+
+
+def _is_zero_angle(angle: float, atol: float = 1e-9) -> bool:
+    return abs(_normalize_angle(angle)) < atol
+
+
+def u3_angles_from_matrix(matrix: np.ndarray) -> Tuple[float, float, float]:
+    """Extract ``(theta, phi, lam)`` such that ``U = e^{i alpha} U3(theta, phi, lam)``."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise ValueError("u3 extraction needs a 2x2 matrix")
+    abs00 = abs(matrix[0, 0])
+    abs10 = abs(matrix[1, 0])
+    theta = 2.0 * math.atan2(abs10, abs00)
+    if abs10 < 1e-12:  # diagonal: theta ~ 0
+        alpha = cmath.phase(matrix[0, 0])
+        lam = cmath.phase(matrix[1, 1]) - alpha
+        return (0.0, 0.0, _normalize_angle(lam))
+    if abs00 < 1e-12:  # anti-diagonal: theta ~ pi
+        alpha = cmath.phase(-matrix[0, 1])
+        phi = cmath.phase(matrix[1, 0]) - alpha
+        return (math.pi, _normalize_angle(phi), 0.0)
+    alpha = cmath.phase(matrix[0, 0])
+    phi = cmath.phase(matrix[1, 0]) - alpha
+    lam = cmath.phase(-matrix[0, 1]) - alpha
+    return (theta, _normalize_angle(phi), _normalize_angle(lam))
+
+
+def decompose_u3(
+    qubit: int, theta: float, phi: float, lam: float
+) -> List[Instruction]:
+    """Compile ``U3`` to the ``RZ/SX`` basis with the zero-angle special cases."""
+    if _is_zero_angle(theta):
+        merged = _normalize_angle(phi + lam)
+        if _is_zero_angle(merged):
+            return []
+        return [Instruction("rz", (qubit,), (merged,))]
+    sequence: List[Instruction] = []
+    if not _is_zero_angle(lam):
+        sequence.append(Instruction("rz", (qubit,), (_normalize_angle(lam),)))
+    sequence.append(Instruction("sx", (qubit,)))
+    sequence.append(Instruction("rz", (qubit,), (_normalize_angle(theta + math.pi),)))
+    sequence.append(Instruction("sx", (qubit,)))
+    if not _is_zero_angle(phi + math.pi):
+        sequence.append(
+            Instruction("rz", (qubit,), (_normalize_angle(phi + math.pi),))
+        )
+    return sequence
+
+
+def compiled_gate_count_u3(theta: float, phi: float, lam: float) -> int:
+    """Number of basis gates a U3 with the given angles compiles to."""
+    return len(decompose_u3(0, theta, phi, lam))
+
+
+def _decompose_single_qubit(instruction: Instruction) -> List[Instruction]:
+    if instruction.gate in ("rz", "x", "sx"):
+        if instruction.gate == "rz" and _is_zero_angle(instruction.params[0]):
+            return []
+        return [instruction]
+    if instruction.gate == "i":
+        return []
+    if instruction.gate == "u3":
+        theta, phi, lam = instruction.params
+        return decompose_u3(instruction.qubits[0], theta, phi, lam)
+    theta, phi, lam = u3_angles_from_matrix(instruction.matrix())
+    return decompose_u3(instruction.qubits[0], theta, phi, lam)
+
+
+def _u3(qubit: int, theta: float, phi: float, lam: float) -> Instruction:
+    return Instruction("u3", (qubit,), (theta, phi, lam))
+
+
+def _two_qubit_rules(instruction: Instruction) -> List[Instruction] | None:
+    """Known exact decompositions of two-qubit gates into CX + 1q gates."""
+    gate = instruction.gate
+    a, b = instruction.qubits
+    params = instruction.params
+    cx = lambda c, t: Instruction("cx", (c, t))  # noqa: E731
+
+    if gate == "cx":
+        return [instruction]
+    if gate == "cz":
+        return [Instruction("h", (b,)), cx(a, b), Instruction("h", (b,))]
+    if gate == "cy":
+        return [Instruction("sdg", (b,)), cx(a, b), Instruction("s", (b,))]
+    if gate == "swap":
+        return [cx(a, b), cx(b, a), cx(a, b)]
+    if gate == "rzz":
+        (theta,) = params
+        return [cx(a, b), Instruction("rz", (b,), (theta,)), cx(a, b)]
+    if gate == "rzx":
+        (theta,) = params
+        return [
+            Instruction("h", (b,)),
+            cx(a, b),
+            Instruction("rz", (b,), (theta,)),
+            cx(a, b),
+            Instruction("h", (b,)),
+        ]
+    if gate == "rxx":
+        (theta,) = params
+        return [
+            Instruction("h", (a,)),
+            Instruction("h", (b,)),
+            cx(a, b),
+            Instruction("rz", (b,), (theta,)),
+            cx(a, b),
+            Instruction("h", (a,)),
+            Instruction("h", (b,)),
+        ]
+    if gate == "ryy":
+        (theta,) = params
+        return [
+            Instruction("rx", (a,), (math.pi / 2,)),
+            Instruction("rx", (b,), (math.pi / 2,)),
+            cx(a, b),
+            Instruction("rz", (b,), (theta,)),
+            cx(a, b),
+            Instruction("rx", (a,), (-math.pi / 2,)),
+            Instruction("rx", (b,), (-math.pi / 2,)),
+        ]
+    if gate == "crz":
+        (lam,) = params
+        return [
+            Instruction("rz", (b,), (lam / 2,)),
+            cx(a, b),
+            Instruction("rz", (b,), (-lam / 2,)),
+            cx(a, b),
+        ]
+    if gate == "cry":
+        (theta,) = params
+        return [
+            Instruction("ry", (b,), (theta / 2,)),
+            cx(a, b),
+            Instruction("ry", (b,), (-theta / 2,)),
+            cx(a, b),
+        ]
+    if gate == "crx":
+        (theta,) = params
+        return [
+            Instruction("h", (b,)),
+            Instruction("rz", (b,), (theta / 2,)),
+            cx(a, b),
+            Instruction("rz", (b,), (-theta / 2,)),
+            cx(a, b),
+            Instruction("h", (b,)),
+        ]
+    if gate == "cu1":
+        (lam,) = params
+        return [
+            Instruction("u1", (a,), (lam / 2,)),
+            cx(a, b),
+            Instruction("u1", (b,), (-lam / 2,)),
+            cx(a, b),
+            Instruction("u1", (b,), (lam / 2,)),
+        ]
+    if gate == "cu3":
+        theta, phi, lam = params
+        return [
+            Instruction("u1", (a,), ((lam + phi) / 2,)),
+            Instruction("u1", (b,), ((lam - phi) / 2,)),
+            cx(a, b),
+            _u3(b, -theta / 2, 0.0, -(phi + lam) / 2),
+            cx(a, b),
+            _u3(b, theta / 2, phi, 0.0),
+        ]
+    return None
+
+
+def decompose_instruction(instruction: Instruction) -> List[Instruction]:
+    """Decompose one instruction into the basis gate set.
+
+    Two-qubit gates without a registered rule (e.g. ``sqswap``) are kept as
+    opaque hardware-calibrated gates; they still receive two-qubit noise and
+    count as two-qubit operations.
+    """
+    if len(instruction.qubits) == 1:
+        return _decompose_single_qubit(instruction)
+    rule = _two_qubit_rules(instruction)
+    if rule is None:
+        return [instruction]
+    out: List[Instruction] = []
+    for item in rule:
+        if len(item.qubits) == 1 and item.gate not in BASIS_GATES:
+            out.extend(_decompose_single_qubit(item))
+        elif len(item.qubits) == 1 and item.gate == "rz" and _is_zero_angle(item.params[0]):
+            continue
+        else:
+            out.append(item)
+    return out
+
+
+def decompose_circuit(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Decompose every instruction of a circuit into the basis gate set."""
+    out = QuantumCircuit(circuit.n_qubits)
+    for instruction in circuit.instructions:
+        out.extend(decompose_instruction(instruction))
+    return out

@@ -1,0 +1,133 @@
+"""Circuit optimization passes (the compiler's optimization levels 1-3)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..quantum.circuit import Instruction, QuantumCircuit
+from .decompose import decompose_u3, u3_angles_from_matrix
+
+__all__ = [
+    "cancel_adjacent_inverse_cx",
+    "merge_adjacent_rz",
+    "drop_identity_rotations",
+    "resynthesize_single_qubit_runs",
+]
+
+_TWO_PI = 2.0 * math.pi
+
+
+def _is_zero_angle(angle: float, atol: float = 1e-9) -> bool:
+    wrapped = math.fmod(angle, _TWO_PI)
+    return min(abs(wrapped), abs(abs(wrapped) - _TWO_PI)) < atol
+
+
+def _last_touching(instructions: List[Instruction], qubits) -> Optional[int]:
+    """Index of the most recent instruction that touches any of ``qubits``."""
+    target = set(qubits)
+    for index in range(len(instructions) - 1, -1, -1):
+        if target & set(instructions[index].qubits):
+            return index
+    return None
+
+
+def cancel_adjacent_inverse_cx(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove back-to-back identical CX (and CZ/SWAP) pairs."""
+    self_inverse_2q = {"cx", "cz", "swap"}
+    out: List[Instruction] = []
+    for instruction in circuit.instructions:
+        if instruction.gate in self_inverse_2q:
+            previous = _last_touching(out, instruction.qubits)
+            if previous is not None:
+                candidate = out[previous]
+                same = (
+                    candidate.gate == instruction.gate
+                    and candidate.qubits == instruction.qubits
+                )
+                # the candidate must be the latest op on *both* qubits
+                blocking = _last_touching(out[previous + 1 :], instruction.qubits)
+                if same and blocking is None:
+                    out.pop(previous)
+                    continue
+        out.append(instruction)
+    result = QuantumCircuit(circuit.n_qubits)
+    result.extend(out)
+    return result
+
+
+def merge_adjacent_rz(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fuse consecutive RZ rotations on the same qubit; drop zero rotations."""
+    out: List[Instruction] = []
+    for instruction in circuit.instructions:
+        if instruction.gate == "rz":
+            previous = _last_touching(out, instruction.qubits)
+            if previous is not None and out[previous].gate == "rz" and out[
+                previous
+            ].qubits == instruction.qubits:
+                merged = out[previous].params[0] + instruction.params[0]
+                out.pop(previous)
+                if not _is_zero_angle(merged):
+                    out.append(Instruction("rz", instruction.qubits, (merged,)))
+                continue
+            if _is_zero_angle(instruction.params[0]):
+                continue
+        out.append(instruction)
+    result = QuantumCircuit(circuit.n_qubits)
+    result.extend(out)
+    return result
+
+
+def drop_identity_rotations(circuit: QuantumCircuit, atol: float = 1e-9):
+    """Remove rotations whose angles are all ~0 (they compile to identity)."""
+    rotation_gates = {"rx", "ry", "rz", "u1", "rzz", "rxx", "ryy", "rzx",
+                      "crx", "cry", "crz", "cu1"}
+    out = QuantumCircuit(circuit.n_qubits)
+    for instruction in circuit.instructions:
+        if instruction.gate in rotation_gates and all(
+            _is_zero_angle(p, atol) for p in instruction.params
+        ):
+            continue
+        if instruction.gate in ("u3", "cu3") and all(
+            _is_zero_angle(p, atol) for p in instruction.params
+        ):
+            continue
+        out.append(instruction)
+    return out
+
+
+def resynthesize_single_qubit_runs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Collapse runs of consecutive single-qubit gates into one U3 each.
+
+    Each maximal run of single-qubit gates on a wire is multiplied into a
+    single 2x2 unitary and re-emitted through the U3 -> RZ/SX decomposition,
+    which both shortens the circuit and restores the zero-angle special cases
+    after pruning.
+    """
+    pending: Dict[int, np.ndarray] = {}
+    out: List[Instruction] = []
+
+    def flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is None:
+            return
+        theta, phi, lam = u3_angles_from_matrix(matrix)
+        out.extend(decompose_u3(qubit, theta, phi, lam))
+
+    for instruction in circuit.instructions:
+        if len(instruction.qubits) == 1:
+            qubit = instruction.qubits[0]
+            matrix = instruction.matrix()
+            pending[qubit] = matrix @ pending.get(qubit, np.eye(2, dtype=complex))
+        else:
+            for qubit in instruction.qubits:
+                flush(qubit)
+            out.append(instruction)
+    for qubit in sorted(pending):
+        flush(qubit)
+
+    result = QuantumCircuit(circuit.n_qubits)
+    result.extend(out)
+    return result

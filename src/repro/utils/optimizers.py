@@ -1,0 +1,139 @@
+"""Gradient-descent optimizers and learning-rate schedules.
+
+The paper trains every circuit with Adam (initial LR 5e-3, weight decay 1e-4)
+under a cosine schedule with a linear warm-up; these are re-implemented here
+on plain NumPy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Adam", "SGD", "CosineWarmupSchedule", "ConstantSchedule"]
+
+
+class ConstantSchedule:
+    """A learning-rate schedule that always returns the base rate."""
+
+    def __init__(self, base_lr: float) -> None:
+        self.base_lr = float(base_lr)
+
+    def lr(self, step: int) -> float:
+        return self.base_lr
+
+
+class CosineWarmupSchedule:
+    """Linear warm-up followed by cosine decay to ``min_lr``."""
+
+    def __init__(
+        self,
+        base_lr: float,
+        total_steps: int,
+        warmup_steps: int = 0,
+        min_lr: float = 0.0,
+    ) -> None:
+        if total_steps < 1:
+            raise ValueError("total_steps must be positive")
+        if warmup_steps < 0:
+            raise ValueError("warmup_steps must be non-negative")
+        self.base_lr = float(base_lr)
+        self.total_steps = int(total_steps)
+        self.warmup_steps = min(int(warmup_steps), self.total_steps)
+        self.min_lr = float(min_lr)
+
+    def lr(self, step: int) -> float:
+        step = min(max(step, 0), self.total_steps)
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        span = max(self.total_steps - self.warmup_steps, 1)
+        progress = (step - self.warmup_steps) / span
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class SGD:
+    """Vanilla stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        schedule: Optional[CosineWarmupSchedule] = None,
+    ) -> None:
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.schedule = schedule
+        self._velocity: Optional[np.ndarray] = None
+        self._step = 0
+
+    def step(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        params = np.asarray(params, dtype=float)
+        grads = np.asarray(grads, dtype=float) + self.weight_decay * params
+        if self._velocity is None:
+            self._velocity = np.zeros_like(params)
+        lr = self.schedule.lr(self._step) if self.schedule else self.lr
+        self._velocity = self.momentum * self._velocity - lr * grads
+        self._step += 1
+        return params + self._velocity
+
+
+class Adam:
+    """Adam optimizer with decoupled weight decay and an optional schedule."""
+
+    def __init__(
+        self,
+        lr: float = 5e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 1e-4,
+        schedule: Optional[CosineWarmupSchedule] = None,
+    ) -> None:
+        self.lr = float(lr)
+        self.beta1, self.beta2 = betas
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self.schedule = schedule
+        self._m: Optional[np.ndarray] = None
+        self._v: Optional[np.ndarray] = None
+        self._step = 0
+
+    def reset(self) -> None:
+        self._m = None
+        self._v = None
+        self._step = 0
+
+    def step(
+        self,
+        params: np.ndarray,
+        grads: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Return updated parameters.
+
+        ``mask`` (boolean) restricts the update to a subset of parameters —
+        this is how SuperCircuit training updates only the sampled SubCircuit's
+        parameter subset at each step.
+        """
+        params = np.asarray(params, dtype=float).copy()
+        grads = np.asarray(grads, dtype=float) + self.weight_decay * params
+        if self._m is None or self._m.shape != params.shape:
+            self._m = np.zeros_like(params)
+            self._v = np.zeros_like(params)
+        self._step += 1
+        lr = self.schedule.lr(self._step - 1) if self.schedule else self.lr
+
+        if mask is None:
+            mask = np.ones_like(params, dtype=bool)
+        mask = np.asarray(mask, dtype=bool)
+
+        self._m[mask] = self.beta1 * self._m[mask] + (1 - self.beta1) * grads[mask]
+        self._v[mask] = self.beta2 * self._v[mask] + (1 - self.beta2) * grads[mask] ** 2
+        m_hat = self._m[mask] / (1 - self.beta1**self._step)
+        v_hat = self._v[mask] / (1 - self.beta2**self._step)
+        params[mask] -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        return params

@@ -1,0 +1,36 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component (dataset synthesis, SuperCircuit sampling, the
+evolutionary engine, shot noise, calibration drift) accepts either a seed or a
+``numpy.random.Generator`` so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["ensure_rng", "seeded_rng", "derive_rng"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` (seed, generator or None) into a Generator."""
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(int(rng))
+
+
+def seeded_rng(seed: int) -> np.random.Generator:
+    """A generator with an explicit seed (alias kept for readability)."""
+    return np.random.default_rng(int(seed))
+
+
+def derive_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent sub-stream from an existing generator."""
+    seed = int(rng.integers(0, 2**31 - 1)) + 7919 * int(stream)
+    return np.random.default_rng(seed)

@@ -1,0 +1,97 @@
+"""Serialization of search artifacts.
+
+QuantumNAS runs produce artifacts worth persisting: the searched SubCircuit
+configuration, the qubit mapping, trained weights and pruning masks.  These
+helpers serialize them to plain JSON so a search performed once (e.g. on a big
+machine) can be re-deployed later, which is exactly the "SuperCircuit is reused
+for new devices" workflow of the paper.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.design_space import get_design_space
+from ..core.subcircuit import SubCircuitConfig
+
+__all__ = [
+    "searched_circuit_to_dict",
+    "searched_circuit_from_dict",
+    "save_searched_circuit",
+    "load_searched_circuit",
+]
+
+PathLike = Union[str, Path]
+
+
+def searched_circuit_to_dict(
+    space_name: str,
+    n_qubits: int,
+    config: SubCircuitConfig,
+    mapping: Sequence[int],
+    weights: Optional[np.ndarray] = None,
+    keep_mask: Optional[np.ndarray] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Serialize a searched (SubCircuit, mapping, weights) triple to a dict."""
+    get_design_space(space_name)  # validate the space name early
+    payload: Dict[str, Any] = {
+        "space": space_name,
+        "n_qubits": int(n_qubits),
+        "n_blocks": int(config.n_blocks),
+        "widths": [list(block) for block in config.widths],
+        "mapping": [int(q) for q in mapping],
+    }
+    if weights is not None:
+        payload["weights"] = np.asarray(weights, dtype=float).tolist()
+    if keep_mask is not None:
+        payload["keep_mask"] = np.asarray(keep_mask, dtype=bool).tolist()
+    if metadata:
+        payload["metadata"] = dict(metadata)
+    return payload
+
+
+def searched_circuit_from_dict(payload: Dict[str, Any]):
+    """Inverse of :func:`searched_circuit_to_dict`.
+
+    Returns ``(space, n_qubits, config, mapping, weights, keep_mask, metadata)``.
+    """
+    space = get_design_space(payload["space"])
+    n_qubits = int(payload["n_qubits"])
+    config = SubCircuitConfig(
+        int(payload["n_blocks"]),
+        tuple(tuple(int(w) for w in block) for block in payload["widths"]),
+    )
+    mapping = tuple(int(q) for q in payload["mapping"])
+    weights = (
+        np.asarray(payload["weights"], dtype=float)
+        if "weights" in payload
+        else None
+    )
+    keep_mask = (
+        np.asarray(payload["keep_mask"], dtype=bool)
+        if "keep_mask" in payload
+        else None
+    )
+    metadata = payload.get("metadata", {})
+    return space, n_qubits, config, mapping, weights, keep_mask, metadata
+
+
+def save_searched_circuit(path: PathLike, **kwargs) -> Path:
+    """Serialize a searched circuit to a JSON file (see ``searched_circuit_to_dict``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(searched_circuit_to_dict(**kwargs), handle, indent=2)
+    return path
+
+
+def load_searched_circuit(path: PathLike):
+    """Load a searched circuit previously stored with :func:`save_searched_circuit`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return searched_circuit_from_dict(payload)

@@ -1,0 +1,83 @@
+"""Small statistics helpers used across training and evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "nll_loss",
+    "cross_entropy_with_logits",
+    "accuracy",
+    "pearson_correlation",
+    "spearman_correlation",
+]
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    logits = np.asarray(logits, dtype=float)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def nll_loss(probabilities: np.ndarray, labels: np.ndarray, eps: float = 1e-12):
+    """Mean negative log-likelihood of the true class probabilities."""
+    probabilities = np.asarray(probabilities, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    picked = probabilities[np.arange(len(labels)), labels]
+    return float(-np.mean(np.log(picked + eps)))
+
+
+def cross_entropy_with_logits(logits: np.ndarray, labels: np.ndarray):
+    """Mean cross entropy plus its gradient with respect to the logits."""
+    probs = softmax(logits)
+    labels = np.asarray(labels, dtype=int)
+    batch = len(labels)
+    loss = nll_loss(probs, labels)
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    grad /= batch
+    return loss, grad
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    predictions = np.argmax(np.asarray(logits), axis=-1)
+    return float(np.mean(predictions == np.asarray(labels)))
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need two equally sized arrays with at least 2 entries")
+    x_c = x - x.mean()
+    y_c = y - y.mean()
+    denom = np.sqrt((x_c**2).sum() * (y_c**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((x_c * y_c).sum() / denom)
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties receive the mean of their rank positions)."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(len(values), dtype=float)
+    sorted_vals = values[order]
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearman_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation (the estimator-reliability metric in Fig. 9/10)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    return pearson_correlation(_ranks(x), _ranks(y))

@@ -1,0 +1,27 @@
+"""Variational quantum eigensolver layer: molecules, ansatzes, VQE runner."""
+
+from .molecules import (
+    MOLECULE_SPECS,
+    Molecule,
+    available_molecules,
+    h2_hamiltonian,
+    load_molecule,
+    synthetic_molecular_hamiltonian,
+)
+from .uccsd import build_uccsd_ansatz, excitation_pairs, pauli_exponential_ops
+from .vqe import VQEConfig, VQEModel, VQEResult
+
+__all__ = [
+    "MOLECULE_SPECS",
+    "Molecule",
+    "available_molecules",
+    "h2_hamiltonian",
+    "load_molecule",
+    "synthetic_molecular_hamiltonian",
+    "build_uccsd_ansatz",
+    "excitation_pairs",
+    "pauli_exponential_ops",
+    "VQEConfig",
+    "VQEModel",
+    "VQEResult",
+]

@@ -1,0 +1,154 @@
+"""VQE model: ansatz + Hamiltonian, training and noisy energy measurement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..devices.backend import QuantumBackend
+from ..quantum.autodiff import adjoint_gradient
+from ..quantum.circuit import ParameterizedCircuit, QuantumCircuit
+from ..quantum.measurement import MeasurementPlan
+from ..quantum.operators import PauliSum
+from ..quantum.statevector import expectation_pauli_sum, run_parameterized
+from ..utils.optimizers import Adam, CosineWarmupSchedule
+from ..utils.rng import ensure_rng
+from .molecules import Molecule
+
+__all__ = ["VQEConfig", "VQEResult", "VQEModel"]
+
+
+@dataclass
+class VQEConfig:
+    """Training hyper-parameters (paper: 1000 steps, Adam, LR 5e-3)."""
+
+    steps: int = 300
+    learning_rate: float = 5e-3
+    weight_decay: float = 1e-4
+    warmup_steps: int = 0
+    seed: int = 0
+
+
+@dataclass
+class VQEResult:
+    """Optimized parameters and the energy trajectory."""
+
+    weights: np.ndarray
+    energies: List[float] = field(default_factory=list)
+
+    @property
+    def final_energy(self) -> float:
+        return self.energies[-1] if self.energies else float("nan")
+
+    @property
+    def best_energy(self) -> float:
+        return min(self.energies) if self.energies else float("nan")
+
+
+class VQEModel:
+    """A variational eigensolver for one molecule with a given ansatz."""
+
+    def __init__(self, ansatz: ParameterizedCircuit, molecule: Molecule) -> None:
+        if ansatz.n_qubits < molecule.n_qubits:
+            raise ValueError("ansatz has fewer qubits than the molecule requires")
+        self.ansatz = ansatz
+        self.molecule = molecule
+        self.hamiltonian: PauliSum = molecule.hamiltonian
+        self.measurement_plan = MeasurementPlan(self.hamiltonian, ansatz.n_qubits)
+
+    @property
+    def num_weights(self) -> int:
+        return self.ansatz.num_weights
+
+    def init_weights(self, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        # Small initial angles keep the ansatz near the reference state, the
+        # usual VQE initialisation.
+        return 0.1 * rng.normal(size=self.num_weights)
+
+    # -- noise-free energy -----------------------------------------------------
+
+    def energy(self, weights: np.ndarray) -> float:
+        states = run_parameterized(self.ansatz, weights)
+        return float(expectation_pauli_sum(states, self.hamiltonian)[0])
+
+    def energy_and_gradient(self, weights: np.ndarray):
+        states = run_parameterized(self.ansatz, weights)
+        energy = float(expectation_pauli_sum(states, self.hamiltonian)[0])
+        grads = adjoint_gradient(
+            self.ansatz, weights, observable=self.hamiltonian, states_final=states
+        )
+        return energy, grads
+
+    # -- training ---------------------------------------------------------------
+
+    def train(
+        self,
+        config: Optional[VQEConfig] = None,
+        initial_weights: Optional[np.ndarray] = None,
+        weight_mask: Optional[np.ndarray] = None,
+    ) -> VQEResult:
+        """Minimize the energy with Adam (optionally with frozen weights)."""
+        config = config or VQEConfig()
+        rng = ensure_rng(config.seed)
+        weights = (
+            self.init_weights(rng)
+            if initial_weights is None
+            else np.array(initial_weights, dtype=float)
+        )
+        if weight_mask is None:
+            weight_mask = np.ones_like(weights, dtype=bool)
+        weight_mask = np.asarray(weight_mask, dtype=bool)
+        schedule = CosineWarmupSchedule(
+            base_lr=config.learning_rate,
+            total_steps=max(config.steps, 1),
+            warmup_steps=config.warmup_steps,
+        )
+        optimizer = Adam(
+            lr=config.learning_rate,
+            weight_decay=config.weight_decay,
+            schedule=schedule,
+        )
+        energies: List[float] = []
+        for _step in range(config.steps):
+            energy, grads = self.energy_and_gradient(weights)
+            grads = np.where(weight_mask, grads, 0.0)
+            weights = optimizer.step(weights, grads, mask=weight_mask)
+            energies.append(energy)
+        energies.append(self.energy(weights))
+        return VQEResult(weights=weights, energies=energies)
+
+    # -- noisy measurement -------------------------------------------------------
+
+    def bound_circuit(self, weights: np.ndarray) -> QuantumCircuit:
+        return self.ansatz.bind(weights)
+
+    def measure_energy(
+        self,
+        weights: np.ndarray,
+        backend: QuantumBackend,
+        initial_layout=None,
+        optimization_level: int = 2,
+        shots: Optional[int] = None,
+    ) -> float:
+        """Measured expectation value on a noisy backend.
+
+        Every qubit-wise commuting measurement group is executed as its own
+        circuit (state preparation + basis change), exactly as on hardware.
+        """
+        prepared = self.bound_circuit(weights)
+        group_probabilities = []
+        for basis_change, _terms in self.measurement_plan.settings():
+            circuit = prepared.compose(basis_change)
+            result = backend.run(
+                circuit,
+                initial_layout=initial_layout,
+                optimization_level=optimization_level,
+                shots=shots,
+            )
+            group_probabilities.append(result.probabilities)
+        return self.measurement_plan.expectation_from_group_probabilities(
+            group_probabilities
+        )

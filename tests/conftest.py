@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SuperCircuit, get_design_space
+from repro.devices import get_device
+from repro.qml import encoder_for_task, make_classification_dataset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small 4-class, 16-feature dataset (MNIST-4 shaped)."""
+    return make_classification_dataset(
+        "tiny-4", n_classes=4, n_features=16, n_train=48, n_valid=24, n_test=24,
+        image_side=4, seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_binary_dataset():
+    return make_classification_dataset(
+        "tiny-2", n_classes=2, n_features=16, n_train=40, n_valid=20, n_test=20,
+        image_side=4, seed=8,
+    )
+
+
+@pytest.fixture(scope="session")
+def yorktown():
+    return get_device("yorktown")
+
+
+@pytest.fixture(scope="session")
+def santiago():
+    return get_device("santiago")
+
+
+@pytest.fixture(scope="session")
+def u3cu3_supercircuit():
+    space = get_design_space("u3cu3")
+    encoder = encoder_for_task("mnist-4")
+    return SuperCircuit(space, 4, encoder=encoder, seed=3)

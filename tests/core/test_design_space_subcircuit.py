@@ -1,0 +1,132 @@
+"""Tests for design spaces and SubCircuit configurations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.design_space import (
+    DESIGN_SPACES,
+    LayerSpec,
+    available_design_spaces,
+    get_design_space,
+)
+from repro.core.subcircuit import SubCircuitConfig
+
+
+class TestLayerSpec:
+    def test_single_layer_positions(self):
+        layer = LayerSpec("u3", "single")
+        assert layer.positions(4) == [(0,), (1,), (2,), (3,)]
+        assert layer.max_width(4) == 4
+        assert layer.params_per_gate == 3
+
+    def test_ring_layer_positions(self):
+        layer = LayerSpec("cu3", "ring")
+        assert layer.positions(4) == [(0, 1), (1, 2), (2, 3), (3, 0)]
+        assert layer.positions(2) == [(0, 1)]
+
+    def test_arrangement_validation(self):
+        with pytest.raises(ValueError):
+            LayerSpec("cu3", "single")
+        with pytest.raises(ValueError):
+            LayerSpec("u3", "ring")
+        with pytest.raises(ValueError):
+            LayerSpec("u3", "diagonal")
+
+
+class TestDesignSpaces:
+    def test_all_six_paper_spaces_registered(self):
+        assert set(available_design_spaces()) == {
+            "u3cu3", "zzry", "rxyz", "zxxx", "rxyz_u1_cu3", "ibmq_basis",
+        }
+
+    def test_space_aliases(self):
+        assert get_design_space("U3+CU3").name == "u3cu3"
+        assert get_design_space("ZZ+RY").name == "zzry"
+        assert get_design_space("RXYZ+U1+CU3").name == "rxyz_u1_cu3"
+        assert get_design_space("IBMQ Basis").name == "ibmq_basis"
+        with pytest.raises(KeyError):
+            get_design_space("quantumgpt")
+
+    def test_block_counts_match_paper(self):
+        assert DESIGN_SPACES["u3cu3"].max_blocks == 8
+        assert DESIGN_SPACES["rxyz_u1_cu3"].max_blocks == 4
+        assert DESIGN_SPACES["ibmq_basis"].max_blocks == 20
+        assert not DESIGN_SPACES["ibmq_basis"].front_sampling
+
+    def test_rxyz_has_sqrt_h_prefix(self):
+        space = DESIGN_SPACES["rxyz"]
+        assert len(space.prefix_layers) == 1
+        assert space.prefix_layers[0].gate == "sh"
+
+    def test_parameter_counts(self):
+        space = DESIGN_SPACES["u3cu3"]
+        # per block: 4 U3 gates (3 params) + 4 CU3 gates (3 params) = 24
+        assert space.params_per_block(4) == 24
+        assert space.total_parameters(4) == 24 * 8
+
+    def test_design_space_size_is_huge(self):
+        space = DESIGN_SPACES["rxyz_u1_cu3"]
+        assert space.num_subcircuits(4) > 1e12
+
+
+class TestSubCircuitConfig:
+    def test_full_config(self):
+        space = DESIGN_SPACES["u3cu3"]
+        config = SubCircuitConfig.full(space, 4)
+        assert config.n_blocks == 8
+        assert config.num_parameters(space) == space.total_parameters(4)
+
+    def test_uniform_width(self):
+        space = DESIGN_SPACES["u3cu3"]
+        config = SubCircuitConfig.uniform_width(space, 4, n_blocks=3, width_ratio=0.5)
+        assert config.n_blocks == 3
+        assert all(w == 2 for block in config.active_widths() for w in block)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubCircuitConfig(0, ((1, 1),))
+        with pytest.raises(ValueError):
+            SubCircuitConfig(3, ((1, 1),))
+
+    def test_difference_counts_positions(self):
+        a = SubCircuitConfig(2, ((2, 3), (1, 1)))
+        b = SubCircuitConfig(2, ((2, 1), (4, 1)))
+        assert a.difference(b) == 2
+        c = SubCircuitConfig(1, ((2, 3), (1, 1)))
+        assert a.difference(c) == 1  # only the block count differs
+
+    def test_num_gates_and_parameters(self):
+        space = DESIGN_SPACES["zzry"]  # rzz (1 param) + ry (1 param)
+        config = SubCircuitConfig(2, tuple([(3, 2)] * space.max_blocks))
+        assert config.num_gates(space) == 10
+        assert config.num_parameters(space) == 10
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_gene_roundtrip(self, seed):
+        space = DESIGN_SPACES["u3cu3"]
+        rng = np.random.default_rng(seed)
+        n_blocks = int(rng.integers(1, space.max_blocks + 1))
+        widths = tuple(
+            tuple(int(rng.integers(1, w + 1)) for w in space.max_widths(4))
+            for _ in range(space.max_blocks)
+        )
+        config = SubCircuitConfig(n_blocks, widths)
+        recovered = SubCircuitConfig.from_gene(space, 4, config.as_gene())
+        assert recovered == config
+
+    def test_from_gene_clips_out_of_range_values(self):
+        space = DESIGN_SPACES["zzry"]
+        gene = [99] + [99] * (space.max_blocks * space.n_layers)
+        config = SubCircuitConfig.from_gene(space, 4, gene)
+        assert config.n_blocks == space.max_blocks
+        assert all(
+            w <= max(space.max_widths(4)) for block in config.widths for w in block
+        )
+
+    def test_from_gene_length_check(self):
+        space = DESIGN_SPACES["zzry"]
+        with pytest.raises(ValueError):
+            SubCircuitConfig.from_gene(space, 4, [1, 2, 3])

@@ -1,0 +1,206 @@
+"""Tests for the estimator, the evolutionary co-search and iterative pruning."""
+
+import numpy as np
+import pytest
+
+from repro.core.design_space import get_design_space
+from repro.core.estimator import EstimatorConfig, PerformanceEstimator
+from repro.core.evolution import Candidate, EvolutionConfig, EvolutionEngine, random_search
+from repro.core.pruning import (
+    iterative_prune_qnn,
+    normalized_angles,
+    polynomial_ratio,
+    prune_mask,
+)
+from repro.core.subcircuit import SubCircuitConfig
+from repro.core.trainer import SuperTrainConfig, train_supercircuit_qml
+from repro.devices.library import get_device
+from repro.qml.encoders import ENCODER_LIBRARY
+from repro.qml.qnn import QNNModel
+from repro.qml.training import TrainConfig, train_qnn
+from repro.vqe.molecules import load_molecule
+
+
+class TestEstimator:
+    def _setup(self, tiny_dataset, mode, n_valid=4):
+        space = get_design_space("u3cu3")
+        from repro.core.supercircuit import SuperCircuit
+
+        sc = SuperCircuit(space, 4, encoder=ENCODER_LIBRARY["image_4x4_4q"], seed=1)
+        config = SubCircuitConfig(2, tuple([(2, 2)] * space.max_blocks))
+        circuit, _ = sc.build_standalone_circuit(config)
+        weights = sc.inherited_weights(config)
+        estimator = PerformanceEstimator(
+            get_device("yorktown"),
+            EstimatorConfig(mode=mode, n_valid_samples=n_valid),
+        )
+        return estimator, circuit, weights
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            EstimatorConfig(mode="telepathy")
+
+    def test_noise_free_loss_is_not_higher_than_noisy(self, tiny_dataset):
+        est_free, circuit, weights = self._setup(tiny_dataset, "noise_free")
+        est_noisy, _, _ = self._setup(tiny_dataset, "noise_sim")
+        loss_free = est_free.estimate_qml(circuit, weights, tiny_dataset, 4,
+                                          layout=(0, 1, 2, 3))
+        loss_noisy = est_noisy.estimate_qml(circuit, weights, tiny_dataset, 4,
+                                            layout=(0, 1, 2, 3))
+        assert loss_noisy >= loss_free - 0.05
+
+    def test_success_rate_mode_augments_loss(self, tiny_dataset):
+        est_free, circuit, weights = self._setup(tiny_dataset, "noise_free")
+        est_rate, _, _ = self._setup(tiny_dataset, "success_rate")
+        loss_free = est_free.estimate_qml(circuit, weights, tiny_dataset, 4,
+                                          layout=(0, 1, 2, 3))
+        loss_rate = est_rate.estimate_qml(circuit, weights, tiny_dataset, 4,
+                                          layout=(0, 1, 2, 3))
+        assert loss_rate > loss_free
+
+    def test_query_counter_increments(self, tiny_dataset):
+        estimator, circuit, weights = self._setup(tiny_dataset, "noise_free")
+        estimator.estimate_qml(circuit, weights, tiny_dataset, 4)
+        estimator.estimate_qml(circuit, weights, tiny_dataset, 4)
+        assert estimator.num_queries == 2
+
+    def test_vqe_estimates_order(self):
+        molecule = load_molecule("h2")
+        space = get_design_space("u3cu3")
+        from repro.core.supercircuit import SuperCircuit
+
+        sc = SuperCircuit(space, 2, seed=2)
+        config = SubCircuitConfig(2, tuple([(2, 1)] * space.max_blocks))
+        circuit, _ = sc.build_standalone_circuit(config, include_encoder=False)
+        weights = sc.inherited_weights(config)
+        noise_free = PerformanceEstimator(
+            get_device("yorktown"), EstimatorConfig(mode="noise_free")
+        ).estimate_vqe(circuit, weights, molecule, layout=(0, 1))
+        noisy = PerformanceEstimator(
+            get_device("yorktown"), EstimatorConfig(mode="noise_sim")
+        ).estimate_vqe(circuit, weights, molecule, layout=(0, 1))
+        mixed = molecule.hamiltonian.constant
+        # noise pulls the estimate from the noise-free value toward the mixed state
+        assert min(noise_free, mixed) - 1e-6 <= noisy <= max(noise_free, mixed) + 1e-6
+
+
+class TestEvolution:
+    def _engine(self, **overrides):
+        space = get_design_space("u3cu3")
+        defaults = dict(iterations=3, population_size=6, parent_size=2,
+                        mutation_size=2, crossover_size=2, seed=0)
+        defaults.update(overrides)
+        return EvolutionEngine(space, 4, get_device("yorktown"),
+                               EvolutionConfig(**defaults))
+
+    def test_repair_mapping_removes_duplicates(self):
+        engine = self._engine()
+        repaired = engine.repair_mapping((0, 0, 2, 2))
+        assert len(set(repaired)) == 4
+        assert all(0 <= q < 5 for q in repaired)
+
+    def test_random_candidates_are_valid(self):
+        engine = self._engine()
+        for _ in range(20):
+            candidate = engine.random_candidate()
+            assert len(set(candidate.mapping)) == 4
+            assert 1 <= candidate.config.n_blocks <= 8
+
+    def test_mutation_and_crossover_produce_valid_candidates(self):
+        engine = self._engine()
+        parent_a = engine.random_candidate()
+        parent_b = engine.random_candidate()
+        child = engine.crossover(parent_a, parent_b)
+        mutant = engine.mutate(parent_a)
+        for candidate in (child, mutant):
+            assert len(set(candidate.mapping)) == 4
+            gene = candidate.gene()
+            assert len(gene) == 1 + 8 * 2 + 4
+
+    def test_search_minimizes_synthetic_objective(self):
+        """The engine should find small circuits when the score favors them."""
+        engine = self._engine(iterations=6, population_size=10, parent_size=3,
+                              mutation_size=4, crossover_size=3)
+        space = engine.space
+
+        def score(config, mapping):
+            return config.num_parameters(space) + 0.1 * sum(mapping)
+
+        result = engine.search(score)
+        minimum = SubCircuitConfig(
+            1, tuple([(1, 1)] * space.max_blocks)
+        ).num_parameters(space)
+        assert result.best_score <= minimum + 12
+        assert result.evaluated > 0
+        assert result.history[-1]["best_score"] <= result.history[0]["best_score"]
+
+    def test_evolution_beats_or_matches_random_with_same_budget(self):
+        space = get_design_space("u3cu3")
+        device = get_device("yorktown")
+
+        def score(config, mapping):
+            widths = np.array([w for block in config.widths[: config.n_blocks]
+                               for w in block])
+            return float(np.abs(widths - 2).sum()) + 0.05 * sum(mapping)
+
+        engine = EvolutionEngine(space, 4, device,
+                                 EvolutionConfig(iterations=5, population_size=10,
+                                                 parent_size=3, mutation_size=4,
+                                                 crossover_size=3, seed=1))
+        evolved = engine.search(score)
+        rand = random_search(space, 4, device, score, n_samples=evolved.evaluated,
+                             seed=1)
+        assert evolved.best_score <= rand.best_score + 1.0
+
+    def test_mapping_only_search_keeps_fixed_circuit(self):
+        space = get_design_space("u3cu3")
+        fixed = SubCircuitConfig(2, tuple([(2, 2)] * space.max_blocks))
+        engine = EvolutionEngine(
+            space, 4, get_device("yorktown"),
+            EvolutionConfig(iterations=2, population_size=4, parent_size=2,
+                            mutation_size=1, crossover_size=1, search_circuit=False),
+            fixed_config=fixed,
+        )
+        result = engine.search(lambda config, mapping: sum(mapping))
+        assert result.best.config == fixed
+
+
+class TestPruning:
+    def test_normalized_angles_range(self):
+        angles = normalized_angles(np.array([0.0, np.pi, -np.pi, 3 * np.pi, 7.0]))
+        assert np.all(angles >= -np.pi) and np.all(angles < np.pi)
+
+    def test_polynomial_ratio_monotone(self):
+        ratios = [polynomial_ratio(s, 0, 10, 0.05, 0.5) for s in range(11)]
+        assert ratios[0] == pytest.approx(0.05)
+        assert ratios[-1] == pytest.approx(0.5)
+        assert all(b >= a - 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+    def test_prune_mask_removes_smallest_angles_first(self):
+        weights = np.array([0.01, 2.0, -0.02, 1.5, 3.0])
+        mask = prune_mask(weights, np.ones(5, dtype=bool), target_ratio=0.4)
+        assert mask.sum() == 3
+        assert not mask[0] and not mask[2]
+
+    def test_prune_mask_is_monotone_in_ratio(self):
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(-np.pi, np.pi, 20)
+        mask_30 = prune_mask(weights, np.ones(20, dtype=bool), 0.3)
+        mask_50 = prune_mask(weights, mask_30, 0.5)
+        assert mask_50.sum() <= mask_30.sum()
+        assert np.all(~mask_30 <= ~mask_50)  # pruned stays pruned
+
+    def test_iterative_prune_qnn_reaches_target_and_keeps_mask(self, tiny_binary_dataset):
+        model = QNNModel(4, 2, encoder=ENCODER_LIBRARY["image_4x4_4q"])
+        for qubit in range(4):
+            model.add_trainable("u3", (qubit,))
+        config = TrainConfig(epochs=3, batch_size=20, learning_rate=0.05, seed=0)
+        trained = train_qnn(model, tiny_binary_dataset, config)
+        result = iterative_prune_qnn(
+            model, trained.weights, tiny_binary_dataset,
+            final_ratio=0.5, n_stages=2, finetune_epochs=1, train_config=config,
+        )
+        assert result.pruning_ratio == pytest.approx(0.5, abs=0.1)
+        assert np.allclose(result.weights[~result.keep_mask], 0.0)
+        assert result.num_remaining == result.keep_mask.sum()
+        assert len(result.history) == 2

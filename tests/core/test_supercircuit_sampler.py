@@ -1,0 +1,125 @@
+"""Tests for the SuperCircuit and SubCircuit samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.design_space import get_design_space
+from repro.core.sampler import ConfigSampler, SamplerConfig
+from repro.core.subcircuit import SubCircuitConfig
+from repro.core.supercircuit import SuperCircuit
+from repro.qml.encoders import ENCODER_LIBRARY
+from repro.quantum.statevector import run_parameterized
+
+
+class TestSuperCircuit:
+    def test_parameter_allocation(self, u3cu3_supercircuit):
+        space = u3cu3_supercircuit.space
+        assert u3cu3_supercircuit.num_parameters == space.total_parameters(4)
+        slots = u3cu3_supercircuit.all_slots()
+        all_indices = [i for slot in slots for i in slot.weight_indices]
+        assert sorted(all_indices) == list(range(u3cu3_supercircuit.num_parameters))
+
+    def test_active_slots_respect_front_sampling(self, u3cu3_supercircuit):
+        config = SubCircuitConfig(
+            2, tuple([(2, 3)] * u3cu3_supercircuit.space.max_blocks)
+        )
+        slots = u3cu3_supercircuit.active_slots(config)
+        assert all(slot.block < 2 for slot in slots)
+        u3_positions = [s.position for s in slots if s.gate == "u3"]
+        cu3_positions = [s.position for s in slots if s.gate == "cu3"]
+        assert max(u3_positions) == 1
+        assert max(cu3_positions) == 2
+
+    def test_active_weight_mask_counts(self, u3cu3_supercircuit):
+        config = SubCircuitConfig(
+            1, tuple([(4, 4)] * u3cu3_supercircuit.space.max_blocks)
+        )
+        mask = u3cu3_supercircuit.active_weight_mask(config)
+        assert mask.sum() == 24  # one full u3cu3 block on 4 qubits
+
+    def test_shared_and_standalone_circuits_agree(self, u3cu3_supercircuit):
+        """Evaluating a SubCircuit through shared or compact weights is identical."""
+        sc = u3cu3_supercircuit
+        config = SubCircuitConfig(2, tuple([(3, 2)] * sc.space.max_blocks))
+        rng = np.random.default_rng(0)
+        features = rng.uniform(0, np.pi, size=(3, 16))
+        shared = sc.build_shared_circuit(config)
+        standalone, mapping = sc.build_standalone_circuit(config)
+        inherited = sc.inherited_weights(config)
+        assert np.allclose(inherited, sc.parameters[mapping])
+        states_shared = run_parameterized(shared, sc.parameters, features)
+        states_standalone = run_parameterized(standalone, inherited, features)
+        assert np.allclose(states_shared, states_standalone, atol=1e-10)
+
+    def test_standalone_without_encoder(self, u3cu3_supercircuit):
+        config = SubCircuitConfig(
+            1, tuple([(1, 1)] * u3cu3_supercircuit.space.max_blocks)
+        )
+        circuit, _ = u3cu3_supercircuit.build_standalone_circuit(
+            config, include_encoder=False
+        )
+        assert all(not op.uses_input for op in circuit.ops)
+
+    def test_rxyz_prefix_layer_present(self):
+        space = get_design_space("rxyz")
+        sc = SuperCircuit(space, 4, seed=0)
+        config = SubCircuitConfig(1, tuple([(1, 1, 1, 1)] * space.max_blocks))
+        circuit, _ = sc.build_standalone_circuit(config, include_encoder=False)
+        assert circuit.ops[0].gate == "sh"
+
+    def test_update_parameters_validation(self, u3cu3_supercircuit):
+        with pytest.raises(ValueError):
+            u3cu3_supercircuit.update_parameters(np.zeros(3))
+
+
+class TestSampler:
+    def _sampler(self, restricted=True, progressive=True, total=50):
+        space = get_design_space("u3cu3")
+        config = SamplerConfig(
+            restricted_sampling=restricted,
+            progressive_shrink=progressive,
+            max_layer_changes=7,
+            total_steps=total,
+        )
+        return ConfigSampler(space, 4, config, rng=np.random.default_rng(0))
+
+    def test_samples_are_valid_configs(self):
+        sampler = self._sampler()
+        space = get_design_space("u3cu3")
+        for config in sampler.sample_many(30):
+            assert 1 <= config.n_blocks <= space.max_blocks
+            for block in config.widths:
+                for layer_index, width in enumerate(block):
+                    assert 1 <= width <= space.max_widths(4)[layer_index]
+
+    def test_restricted_sampling_bounds_consecutive_difference(self):
+        sampler = self._sampler(restricted=True, progressive=False)
+        previous = sampler.sample()
+        for _ in range(30):
+            current = sampler.sample()
+            assert previous.difference(current) <= 7 + 1  # widths plus block count
+            previous = current
+
+    def test_progressive_shrink_lowers_min_blocks(self):
+        sampler = self._sampler(progressive=True, total=100)
+        assert sampler.min_blocks_at(0) == 8
+        assert sampler.min_blocks_at(100) == 1
+        assert sampler.min_blocks_at(50) in range(1, 9)
+
+    def test_unrestricted_sampling_can_jump(self):
+        sampler = self._sampler(restricted=False, progressive=False)
+        differences = []
+        previous = sampler.sample()
+        for _ in range(30):
+            current = sampler.sample()
+            differences.append(previous.difference(current))
+            previous = current
+        assert max(differences) > 7
+
+    def test_reset(self):
+        sampler = self._sampler()
+        sampler.sample_many(5)
+        sampler.reset()
+        assert sampler._step == 0

@@ -1,0 +1,110 @@
+"""Tests for the shot-based quantum backend."""
+
+import numpy as np
+import pytest
+
+from repro.devices.backend import QuantumBackend
+from repro.devices.calibration import CalibrationTargets, generate_calibration
+from repro.devices.library import Device, get_device
+from repro.devices.topology import line_topology
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.statevector import expectation_z_all, probabilities, run_circuit
+
+
+def _ideal_device(n_qubits=4) -> Device:
+    """A line device with (almost) zero noise for semantics checks."""
+    topology = line_topology(n_qubits, name="ideal-line")
+    targets = CalibrationTargets(
+        single_qubit_error=0.0, two_qubit_error=0.0, readout_error=0.0,
+        t1=1e9, t2=1e9, spread=0.0,
+    )
+    calibration = generate_calibration(topology, targets, seed=0)
+    return Device("ideal", topology, calibration, quantum_volume=32)
+
+
+def _test_circuit(n_qubits=4):
+    circuit = QuantumCircuit(n_qubits)
+    circuit.add("ry", (0,), (0.8,))
+    circuit.add("cx", (0, 1))
+    circuit.add("u3", (2,), (1.1, 0.3, -0.2))
+    circuit.add("cx", (2, 3))
+    circuit.add("rzz", (1, 2), (0.5,))
+    return circuit
+
+
+def test_ideal_backend_matches_statevector():
+    device = _ideal_device()
+    backend = QuantumBackend(device, shots=0, seed=0)
+    circuit = _test_circuit()
+    result = backend.run(circuit, initial_layout="trivial")
+    expected = expectation_z_all(run_circuit(circuit))[0]
+    assert np.allclose(result.expectation_z_all(), expected, atol=1e-8)
+    assert np.allclose(
+        result.probabilities, probabilities(run_circuit(circuit))[0], atol=1e-8
+    )
+
+
+def test_ideal_backend_with_nontrivial_layout_matches_statevector():
+    device = _ideal_device()
+    backend = QuantumBackend(device, shots=0, seed=0)
+    circuit = _test_circuit()
+    result = backend.run(circuit, initial_layout=[3, 1, 0, 2])
+    expected = expectation_z_all(run_circuit(circuit))[0]
+    assert np.allclose(result.expectation_z_all(), expected, atol=1e-8)
+
+
+def test_shot_noise_converges_with_more_shots():
+    device = _ideal_device()
+    circuit = _test_circuit()
+    exact = expectation_z_all(run_circuit(circuit))[0]
+    few = QuantumBackend(device, shots=64, seed=1).run(circuit)
+    many = QuantumBackend(device, shots=16384, seed=1).run(circuit)
+    error_few = np.abs(few.expectation_z_all() - exact).max()
+    error_many = np.abs(many.expectation_z_all() - exact).max()
+    assert error_many <= error_few + 1e-9
+    assert error_many < 0.05
+
+
+def test_noisy_backend_degrades_expectations():
+    """Gate noise pulls Z expectations toward zero relative to the ideal run."""
+    circuit = QuantumCircuit(2)
+    circuit.add("cx", (0, 1))
+    circuit.add("cx", (0, 1))
+    circuit.add("cx", (0, 1))
+    circuit.add("cx", (0, 1))
+    ideal = QuantumBackend(_ideal_device(2), shots=0).run(circuit)
+    noisy = QuantumBackend(get_device("yorktown"), shots=0).run(circuit)
+    assert ideal.expectation_z(0) == pytest.approx(1.0, abs=1e-6)
+    assert noisy.expectation_z(0) < ideal.expectation_z(0) - 1e-3
+
+
+def test_backend_counts_executions():
+    backend = QuantumBackend(get_device("belem"), shots=128, seed=0)
+    circuit = QuantumCircuit(2)
+    circuit.add("h", (0,))
+    backend.run(circuit)
+    backend.run(circuit)
+    assert backend.executions == 2
+
+
+def test_large_circuit_falls_back_to_success_rate_approximation():
+    device = get_device("guadalupe")
+    backend = QuantumBackend(device, shots=0, seed=0, max_density_qubits=4)
+    circuit = QuantumCircuit(6)
+    for qubit in range(6):
+        circuit.add("ry", (qubit,), (0.3,))
+    for qubit in range(5):
+        circuit.add("cx", (qubit, qubit + 1))
+    result = backend.run(circuit, initial_layout="trivial")
+    probs = result.probabilities
+    assert probs.shape == (2**6,)
+    assert np.isclose(probs.sum(), 1.0)
+    # the approximation mixes in the uniform distribution, so no outcome is 0
+    assert probs.min() > 0
+
+
+def test_backend_probabilities_sum_to_one_with_shots():
+    backend = QuantumBackend(get_device("quito"), shots=512, seed=3)
+    result = backend.run(_test_circuit(4), initial_layout="noise_adaptive")
+    assert np.isclose(result.probabilities.sum(), 1.0)
+    assert result.shots == 512

@@ -1,0 +1,76 @@
+"""Tests for the device library and synthetic calibration."""
+
+import numpy as np
+import pytest
+
+from repro.devices.calibration import CalibrationTargets, generate_calibration
+from repro.devices.library import DEVICE_SPECS, available_devices, get_device
+from repro.devices.topology import line_topology
+
+
+def test_all_devices_constructible():
+    for name in available_devices():
+        device = get_device(name)
+        assert device.n_qubits == DEVICE_SPECS[name].n_qubits
+        assert device.topology.is_connected()
+        model = device.noise_model()
+        assert model.n_qubits() == device.n_qubits
+
+
+def test_device_count_matches_paper_scale():
+    assert len(available_devices()) == 14
+
+
+def test_get_device_accepts_ibmq_prefix_and_rejects_unknown():
+    assert get_device("IBMQ-Yorktown").name == "yorktown"
+    with pytest.raises(KeyError):
+        get_device("not-a-machine")
+
+
+def test_calibration_is_deterministic():
+    a = get_device("santiago").calibration
+    b = get_device("santiago").calibration
+    assert a.average_two_qubit_error() == pytest.approx(b.average_two_qubit_error())
+    for qubit in a.qubits:
+        assert a.qubits[qubit].t1 == pytest.approx(b.qubits[qubit].t1)
+
+
+def test_error_rate_ordering_matches_fig21():
+    """Santiago (low error) should be cleaner than Yorktown (high error)."""
+    santiago = get_device("santiago").error_summary()
+    yorktown = get_device("yorktown").error_summary()
+    assert santiago["two_qubit_error"] < yorktown["two_qubit_error"]
+    assert santiago["readout_error"] < yorktown["readout_error"]
+
+
+def test_calibration_targets_are_respected_on_average():
+    targets = CalibrationTargets(
+        single_qubit_error=1e-3, two_qubit_error=2e-2, readout_error=3e-2
+    )
+    calibration = generate_calibration(line_topology(20), targets, seed=5)
+    assert calibration.average_two_qubit_error() == pytest.approx(2e-2, rel=0.5)
+    assert calibration.average_readout_error() == pytest.approx(3e-2, rel=0.5)
+    for params in calibration.qubits.values():
+        assert params.t2 <= 2.0 * params.t1 + 1e-9
+
+
+def test_recalibration_drift_changes_values_but_not_topology():
+    device = get_device("belem")
+    drifted = device.recalibrated(weeks_later=3)
+    assert drifted.topology is device.topology
+    original = device.calibration.qubits[0].single_qubit_error
+    moved = drifted.calibration.qubits[0].single_qubit_error
+    assert moved != pytest.approx(original)
+    # averages stay in the same ballpark
+    assert drifted.calibration.average_two_qubit_error() == pytest.approx(
+        device.calibration.average_two_qubit_error(), rel=1.0
+    )
+
+
+def test_quantum_volume_metadata():
+    assert get_device("montreal").quantum_volume == 128
+    assert get_device("melbourne").quantum_volume == 8
+
+
+def test_device_repr_contains_name():
+    assert "yorktown" in repr(get_device("yorktown"))

@@ -1,0 +1,97 @@
+"""Tests for noise channels (CPTP properties, limits)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise.channels import (
+    amplitude_damping_kraus,
+    depolarizing_kraus,
+    is_cptp,
+    phase_damping_kraus,
+    readout_confusion_matrix,
+    thermal_relaxation_kraus,
+)
+
+PROB = st.floats(0.0, 1.0, allow_nan=False)
+
+
+@settings(max_examples=25, deadline=None)
+@given(p=PROB)
+def test_depolarizing_is_cptp(p):
+    assert is_cptp(depolarizing_kraus(p, 1))
+
+
+@settings(max_examples=10, deadline=None)
+@given(p=PROB)
+def test_two_qubit_depolarizing_is_cptp(p):
+    assert is_cptp(depolarizing_kraus(p, 2))
+
+
+@settings(max_examples=25, deadline=None)
+@given(gamma=PROB)
+def test_amplitude_damping_is_cptp(gamma):
+    assert is_cptp(amplitude_damping_kraus(gamma))
+
+
+@settings(max_examples=25, deadline=None)
+@given(lam=PROB)
+def test_phase_damping_is_cptp(lam):
+    assert is_cptp(phase_damping_kraus(lam))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    t1=st.floats(1.0, 200.0, allow_nan=False),
+    t2_fraction=st.floats(0.1, 2.0, allow_nan=False),
+    duration=st.floats(0.0, 10.0, allow_nan=False),
+)
+def test_thermal_relaxation_is_cptp(t1, t2_fraction, duration):
+    assert is_cptp(thermal_relaxation_kraus(t1, t1 * t2_fraction, duration))
+
+
+def test_depolarizing_identity_limit():
+    kraus = depolarizing_kraus(0.0, 1)
+    assert np.allclose(kraus[0], np.eye(2))
+    for op in kraus[1:]:
+        assert np.allclose(op, 0.0)
+
+
+def test_depolarizing_rejects_invalid_probability():
+    with pytest.raises(ValueError):
+        depolarizing_kraus(1.5, 1)
+    with pytest.raises(ValueError):
+        depolarizing_kraus(-0.1, 1)
+
+
+def test_amplitude_damping_decays_excited_state():
+    gamma = 0.3
+    kraus = amplitude_damping_kraus(gamma)
+    excited = np.array([[0.0, 0.0], [0.0, 1.0]], dtype=complex)
+    out = sum(k @ excited @ k.conj().T for k in kraus)
+    assert out[1, 1].real == pytest.approx(1.0 - gamma)
+    assert out[0, 0].real == pytest.approx(gamma)
+
+
+def test_thermal_relaxation_zero_duration_is_identity():
+    kraus = thermal_relaxation_kraus(50.0, 40.0, 0.0)
+    rho = np.array([[0.5, 0.5], [0.5, 0.5]], dtype=complex)
+    out = sum(k @ rho @ k.conj().T for k in kraus)
+    assert np.allclose(out, rho, atol=1e-12)
+
+
+def test_thermal_relaxation_validates_inputs():
+    with pytest.raises(ValueError):
+        thermal_relaxation_kraus(-1.0, 10.0, 0.1)
+    with pytest.raises(ValueError):
+        thermal_relaxation_kraus(10.0, 10.0, -0.1)
+
+
+def test_readout_confusion_columns_sum_to_one():
+    matrix = readout_confusion_matrix(0.03, 0.08)
+    assert np.allclose(matrix.sum(axis=0), 1.0)
+    assert matrix[1, 0] == pytest.approx(0.03)
+    assert matrix[0, 1] == pytest.approx(0.08)
+    with pytest.raises(ValueError):
+        readout_confusion_matrix(1.2, 0.0)

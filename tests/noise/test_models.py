@@ -1,0 +1,87 @@
+"""Tests for the device NoiseModel."""
+
+import numpy as np
+import pytest
+
+from repro.noise.models import NoiseModel, QubitNoiseParameters
+from repro.quantum.circuit import Instruction, QuantumCircuit
+
+
+def _simple_circuit():
+    circuit = QuantumCircuit(3)
+    circuit.add("u3", (0,), (0.3, 0.1, 0.2))
+    circuit.add("cx", (0, 1))
+    circuit.add("cx", (1, 2))
+    return circuit
+
+
+def test_ideal_model_has_unit_success_rate():
+    model = NoiseModel.ideal(3)
+    assert model.circuit_success_rate(_simple_circuit()) == pytest.approx(1.0)
+    assert model.channels_for(Instruction("cx", (0, 1))) == []
+
+
+def test_uniform_model_error_lookup():
+    model = NoiseModel.uniform(
+        3, single_qubit_error=1e-3, two_qubit_error=2e-2,
+        readout_error=5e-2, edges=[(0, 1), (1, 2)],
+    )
+    assert model.single_qubit_error(0) == pytest.approx(1e-3)
+    assert model.two_qubit_error(0, 1) == pytest.approx(2e-2)
+    assert model.two_qubit_error(1, 0) == pytest.approx(2e-2)
+    assert model.readout_error(2) == pytest.approx(5e-2)
+    assert model.n_qubits() == 3
+
+
+def test_success_rate_decreases_with_more_gates():
+    model = NoiseModel.uniform(3, two_qubit_error=0.02, edges=[(0, 1), (1, 2)])
+    short = QuantumCircuit(3)
+    short.add("cx", (0, 1))
+    long = _simple_circuit()
+    assert model.circuit_success_rate(long) < model.circuit_success_rate(short)
+
+
+def test_instruction_error_dispatch():
+    model = NoiseModel.uniform(2, single_qubit_error=1e-3, two_qubit_error=1e-2,
+                               edges=[(0, 1)])
+    assert model.instruction_error(Instruction("x", (0,))) == pytest.approx(1e-3)
+    assert model.instruction_error(Instruction("cx", (0, 1))) == pytest.approx(1e-2)
+
+
+def test_channels_for_includes_depolarizing_and_relaxation():
+    model = NoiseModel.uniform(2, single_qubit_error=1e-3, two_qubit_error=1e-2,
+                               t1=50.0, t2=40.0, edges=[(0, 1)])
+    channels = model.channels_for(Instruction("cx", (0, 1)))
+    # one depolarizing channel on the pair plus thermal relaxation per qubit
+    assert len(channels) == 3
+    assert channels[0][1] == (0, 1)
+
+
+def test_apply_readout_error_preserves_normalisation():
+    model = NoiseModel.uniform(2, readout_error=0.1, edges=[(0, 1)])
+    probs = np.array([0.5, 0.5, 0.0, 0.0])
+    adjusted = model.apply_readout_error(probs, 2)
+    assert adjusted.shape == (4,)
+    assert np.isclose(adjusted.sum(), 1.0)
+    assert adjusted[2] > 0  # confusion leaks probability into other outcomes
+
+
+def test_reduced_model_reindexes_qubits():
+    model = NoiseModel.uniform(4, two_qubit_error=0.03, readout_error=0.07,
+                               edges=[(0, 1), (1, 2), (2, 3)])
+    reduced = model.reduced([2, 3])
+    assert reduced.n_qubits() == 2
+    assert reduced.two_qubit_error(0, 1) == pytest.approx(0.03)
+    assert reduced.readout_error(0) == pytest.approx(0.07)
+
+
+def test_average_error_summary_keys():
+    model = NoiseModel.uniform(3, edges=[(0, 1)])
+    summary = model.average_error_summary()
+    assert set(summary) == {"single_qubit_error", "two_qubit_error", "readout_error"}
+
+
+def test_qubit_noise_parameters_readout_error():
+    params = QubitNoiseParameters(t1=50, t2=40, readout_p01=0.02, readout_p10=0.04,
+                                  single_qubit_error=1e-3)
+    assert params.readout_error == pytest.approx(0.03)

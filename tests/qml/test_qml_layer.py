@@ -1,0 +1,168 @@
+"""Tests for encoders, datasets, the QNN model and its training loop."""
+
+import numpy as np
+import pytest
+
+from repro.qml.datasets import TASK_SPECS, load_task, make_classification_dataset
+from repro.qml.encoders import (
+    ENCODER_LIBRARY,
+    attach_encoder,
+    build_encoder_ops,
+    encoder_for_task,
+)
+from repro.qml.qnn import QNNModel, readout_matrix
+from repro.qml.training import TrainConfig, evaluate_noise_free, train_qnn
+from repro.quantum.autodiff import finite_difference_gradient
+from repro.quantum.circuit import ParameterizedCircuit
+from repro.utils.stats import nll_loss, softmax
+
+
+class TestEncoders:
+    def test_library_feature_counts_match_table1(self):
+        assert ENCODER_LIBRARY["image_4x4_4q"].n_features == 16
+        assert ENCODER_LIBRARY["image_6x6_10q"].n_features == 36
+        assert ENCODER_LIBRARY["vowel_10d_4q"].n_features == 10
+
+    def test_build_encoder_ops_consumes_features_sequentially(self):
+        ops = build_encoder_ops(ENCODER_LIBRARY["image_4x4_4q"])
+        assert len(ops) == 16
+        feature_indices = [op.slots[0].value for op in ops]
+        assert feature_indices == list(range(16))
+        assert all(op.uses_input for op in ops)
+
+    def test_encoder_for_task(self):
+        assert encoder_for_task("MNIST-4").n_qubits == 4
+        assert encoder_for_task("mnist-10").n_qubits == 10
+        assert encoder_for_task("vowel-4").n_features == 10
+        with pytest.raises(KeyError):
+            encoder_for_task("cifar")
+
+    def test_attach_encoder_checks_register_size(self):
+        pcirc = ParameterizedCircuit(2)
+        with pytest.raises(ValueError):
+            attach_encoder(pcirc, ENCODER_LIBRARY["image_4x4_4q"])
+
+
+class TestDatasets:
+    def test_all_task_specs_load(self):
+        for task in TASK_SPECS:
+            dataset = load_task(task, n_train=30, n_valid=10, n_test=10)
+            assert dataset.n_classes == TASK_SPECS[task].n_classes
+            assert dataset.n_features == TASK_SPECS[task].n_features
+            assert dataset.x_train.shape == (30, dataset.n_features)
+
+    def test_features_scaled_to_angle_range(self):
+        dataset = load_task("mnist-4", n_train=40, n_valid=10, n_test=10)
+        assert dataset.x_train.min() >= 0.0
+        assert dataset.x_train.max() <= np.pi + 1e-9
+
+    def test_deterministic_generation(self):
+        a = load_task("fashion-2", n_train=20, n_valid=5, n_test=5)
+        b = load_task("fashion-2", n_train=20, n_valid=5, n_test=5)
+        assert np.allclose(a.x_train, b.x_train)
+        assert np.array_equal(a.y_train, b.y_train)
+
+    def test_subsample_test(self):
+        dataset = load_task("mnist-2", n_train=20, n_valid=5, n_test=50)
+        smaller = dataset.subsample_test(10)
+        assert len(smaller.y_test) == 10
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            load_task("imagenet")
+
+    def test_classes_are_learnable_by_linear_probe(self):
+        """The synthetic classes must be separable enough to train against."""
+        dataset = make_classification_dataset(
+            "probe", n_classes=2, n_features=16, n_train=200, n_valid=50,
+            n_test=50, image_side=4, seed=3,
+        )
+        x, y = dataset.x_train, dataset.y_train
+        centroids = np.stack([x[y == c].mean(axis=0) for c in range(2)])
+        distances = ((dataset.x_test[:, None, :] - centroids[None]) ** 2).sum(-1)
+        accuracy = (distances.argmin(axis=1) == dataset.y_test).mean()
+        assert accuracy > 0.7
+
+
+class TestQNN:
+    def _small_model(self, n_classes=4):
+        encoder = ENCODER_LIBRARY["image_4x4_4q"]
+        model = QNNModel(4, n_classes, encoder=encoder)
+        for qubit in range(4):
+            model.add_trainable("u3", (qubit,))
+        for qubit in range(4):
+            model.add_trainable("cu3", (qubit, (qubit + 1) % 4))
+        return model
+
+    def test_readout_matrix_shapes(self):
+        assert readout_matrix(4, 4).shape == (4, 4)
+        assert np.allclose(readout_matrix(4, 4), np.eye(4))
+        two = readout_matrix(4, 2)
+        assert np.allclose(two, [[1, 1, 0, 0], [0, 0, 1, 1]])
+        with pytest.raises(ValueError):
+            readout_matrix(2, 4)
+
+    def test_forward_shapes(self, tiny_dataset):
+        model = self._small_model()
+        weights = model.init_weights(np.random.default_rng(0))
+        out = model.forward(weights, tiny_dataset.x_train[:8])
+        assert out.expectations.shape == (8, 4)
+        assert out.logits.shape == (8, 4)
+
+    def test_loss_and_gradient_matches_finite_difference(self, tiny_dataset):
+        model = self._small_model()
+        rng = np.random.default_rng(1)
+        weights = model.init_weights(rng)
+        x = tiny_dataset.x_train[:6]
+        y = tiny_dataset.y_train[:6]
+
+        def loss_fn(w):
+            out = model.forward(w, x)
+            return nll_loss(softmax(out.logits), y)
+
+        loss, grads, _ = model.loss_and_gradient(weights, x, y)
+        numeric = finite_difference_gradient(loss_fn, weights, epsilon=1e-5)
+        assert loss == pytest.approx(loss_fn(weights))
+        assert np.allclose(grads, numeric, atol=1e-5)
+
+    def test_training_reduces_loss(self, tiny_binary_dataset):
+        encoder = ENCODER_LIBRARY["image_4x4_4q"]
+        model = QNNModel(4, 2, encoder=encoder)
+        for qubit in range(4):
+            model.add_trainable("ry", (qubit,))
+        for qubit in range(3):
+            model.add_trainable("rzz", (qubit, qubit + 1))
+        for qubit in range(4):
+            model.add_trainable("ry", (qubit,))
+        config = TrainConfig(epochs=8, batch_size=20, learning_rate=0.05, seed=0)
+        initial_weights = model.init_weights(np.random.default_rng(0))
+        start = evaluate_noise_free(
+            model, initial_weights, tiny_binary_dataset.x_train,
+            tiny_binary_dataset.y_train,
+        )
+        result = train_qnn(model, tiny_binary_dataset, config,
+                           initial_weights=initial_weights)
+        end = evaluate_noise_free(
+            model, result.weights, tiny_binary_dataset.x_train,
+            tiny_binary_dataset.y_train,
+        )
+        assert end["loss"] < start["loss"]
+        assert len(result.history) == 8
+
+    def test_weight_mask_freezes_parameters(self, tiny_binary_dataset):
+        model = self._small_model(n_classes=2)
+        weights = model.init_weights(np.random.default_rng(2))
+        mask = np.zeros(model.num_weights, dtype=bool)
+        mask[:4] = True
+        config = TrainConfig(epochs=2, batch_size=16, seed=1)
+        result = train_qnn(model, tiny_binary_dataset, config,
+                           initial_weights=weights, weight_mask=mask)
+        assert np.allclose(result.weights[~mask], weights[~mask])
+        assert not np.allclose(result.weights[mask], weights[mask])
+
+    def test_from_circuit_wrapper(self):
+        pcirc = ParameterizedCircuit(4)
+        pcirc.add_trainable("ry", (0,))
+        model = QNNModel.from_circuit(pcirc, 2)
+        assert model.num_weights == 1
+        assert model.readout.shape == (2, 4)

@@ -1,0 +1,140 @@
+"""Tests for gradient engines: adjoint, parameter shift, finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.autodiff import (
+    adjoint_gradient,
+    finite_difference_gradient,
+    parameter_shift_jacobian,
+)
+from repro.quantum.circuit import ParameterizedCircuit
+from repro.quantum.operators import PauliSum
+from repro.quantum.statevector import (
+    expectation_pauli_sum,
+    expectation_z_all,
+    run_parameterized,
+)
+
+
+def _toy_circuit(with_encoder=True):
+    pcirc = ParameterizedCircuit(3)
+    if with_encoder:
+        pcirc.add_encoder("ry", (0,), (0,))
+        pcirc.add_encoder("rx", (1,), (1,))
+    pcirc.add_trainable("u3", (0,))
+    pcirc.add_trainable("cu3", (0, 1))
+    pcirc.add_trainable("rzz", (1, 2))
+    pcirc.add_fixed("h", (2,))
+    pcirc.add_trainable("crx", (2, 0))
+    return pcirc
+
+
+OBSERVABLE = PauliSum.from_terms(
+    [(0.8, {0: "Z"}), (0.5, {1: "Z", 2: "Z"}), (-0.3, {0: "X", 2: "Y"}), (0.1, {})]
+)
+
+
+def test_adjoint_matches_finite_difference_observable():
+    pcirc = _toy_circuit()
+    rng = np.random.default_rng(0)
+    weights = pcirc.init_weights(rng)
+    features = rng.uniform(0, np.pi, size=(5, 2))
+
+    def loss(w):
+        states = run_parameterized(pcirc, w, features)
+        return float(np.sum(expectation_pauli_sum(states, OBSERVABLE)))
+
+    numeric = finite_difference_gradient(loss, weights)
+    analytic = adjoint_gradient(pcirc, weights, features, observable=OBSERVABLE)
+    assert np.allclose(numeric, analytic, atol=1e-6)
+
+
+def test_adjoint_matches_finite_difference_z_coefficients():
+    pcirc = _toy_circuit()
+    rng = np.random.default_rng(1)
+    weights = pcirc.init_weights(rng)
+    features = rng.uniform(0, np.pi, size=(4, 2))
+    coefficients = rng.normal(size=(4, 3))
+
+    def loss(w):
+        states = run_parameterized(pcirc, w, features)
+        return float(np.sum(coefficients * expectation_z_all(states)))
+
+    numeric = finite_difference_gradient(loss, weights)
+    analytic = adjoint_gradient(pcirc, weights, features, z_coefficients=coefficients)
+    assert np.allclose(numeric, analytic, atol=1e-6)
+
+
+def test_adjoint_without_encoder():
+    pcirc = _toy_circuit(with_encoder=False)
+    rng = np.random.default_rng(2)
+    weights = pcirc.init_weights(rng)
+
+    def loss(w):
+        states = run_parameterized(pcirc, w)
+        return float(expectation_pauli_sum(states, OBSERVABLE)[0])
+
+    numeric = finite_difference_gradient(loss, weights)
+    analytic = adjoint_gradient(pcirc, weights, observable=OBSERVABLE)
+    assert np.allclose(numeric, analytic, atol=1e-6)
+
+
+def test_adjoint_requires_exactly_one_observable_spec():
+    pcirc = _toy_circuit(with_encoder=False)
+    weights = np.zeros(pcirc.num_weights)
+    with pytest.raises(ValueError):
+        adjoint_gradient(pcirc, weights)
+    with pytest.raises(ValueError):
+        adjoint_gradient(
+            pcirc, weights, observable=OBSERVABLE, z_coefficients=np.zeros((1, 3))
+        )
+
+
+def test_parameter_shift_matches_adjoint_for_exact_gates():
+    pcirc = ParameterizedCircuit(2)
+    pcirc.add_trainable("rx", (0,))
+    pcirc.add_trainable("ry", (1,))
+    pcirc.add_trainable("rzz", (0, 1))
+    pcirc.add_trainable("u3", (0,))
+    rng = np.random.default_rng(3)
+    weights = pcirc.init_weights(rng)
+    observable = PauliSum.from_terms([(1.0, {0: "Z"}), (0.5, {1: "Z"})])
+
+    def expectations_fn(w):
+        states = run_parameterized(pcirc, w)
+        return expectation_pauli_sum(states, observable)
+
+    jacobian = parameter_shift_jacobian(expectations_fn, pcirc, weights)
+    analytic = adjoint_gradient(pcirc, weights, observable=observable)
+    assert jacobian.shape == (1, pcirc.num_weights)
+    assert np.allclose(jacobian[0], analytic, atol=1e-6)
+
+
+def test_parameter_shift_handles_controlled_gates_via_finite_difference():
+    pcirc = ParameterizedCircuit(2)
+    pcirc.add_trainable("cry", (0, 1))
+    pcirc.add_fixed("h", (0,))
+    rng = np.random.default_rng(4)
+    weights = pcirc.init_weights(rng)
+    observable = PauliSum.from_terms([(1.0, {1: "Z"})])
+
+    def expectations_fn(w):
+        states = run_parameterized(pcirc, w)
+        return expectation_pauli_sum(states, observable)
+
+    jacobian = parameter_shift_jacobian(expectations_fn, pcirc, weights)
+    analytic = adjoint_gradient(pcirc, weights, observable=observable)
+    assert np.allclose(jacobian[0], analytic, atol=1e-4)
+
+
+def test_gradient_zero_for_unused_weight():
+    pcirc = ParameterizedCircuit(2)
+    pcirc.add_trainable("rx", (0,))
+    pcirc.ensure_num_weights(3)  # weights 1 and 2 are unused
+    weights = np.array([0.3, 1.0, -2.0])
+    observable = PauliSum.from_terms([(1.0, {0: "Z"})])
+    grads = adjoint_gradient(pcirc, weights, observable=observable)
+    assert grads.shape == (3,)
+    assert grads[1] == 0.0 and grads[2] == 0.0
+    assert abs(grads[0]) > 1e-6

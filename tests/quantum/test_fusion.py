@@ -1,0 +1,56 @@
+"""Tests for static-mode gate fusion."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.fusion import FusedCircuit, fuse_circuit
+from repro.quantum.statevector import probabilities, run_circuit
+
+
+def _layered_circuit(n_qubits=3, n_blocks=4):
+    rng = np.random.default_rng(0)
+    circuit = QuantumCircuit(n_qubits)
+    for _ in range(n_blocks):
+        for qubit in range(n_qubits):
+            circuit.add("u3", (qubit,), tuple(rng.uniform(-np.pi, np.pi, 3)))
+        for qubit in range(n_qubits - 1):
+            circuit.add("cx", (qubit, qubit + 1))
+    return circuit
+
+
+def test_fused_circuit_matches_dynamic_execution():
+    circuit = _layered_circuit()
+    reference = run_circuit(circuit)
+    for max_qubits in (1, 2, 3):
+        fused = FusedCircuit.from_circuit(circuit, max_fused_qubits=max_qubits)
+        assert np.allclose(fused.run(), reference, atol=1e-10)
+
+
+def test_fusion_reduces_instruction_count():
+    circuit = _layered_circuit()
+    fused = fuse_circuit(circuit, max_fused_qubits=2)
+    assert len(fused) < len(circuit)
+
+
+def test_fusion_rejects_invalid_max():
+    circuit = _layered_circuit()
+    with pytest.raises(ValueError):
+        fuse_circuit(circuit, max_fused_qubits=0)
+
+
+def test_fused_blocks_are_unitary():
+    circuit = _layered_circuit()
+    for block in fuse_circuit(circuit, max_fused_qubits=2):
+        dim = block.matrix.shape[0]
+        assert dim == 2 ** len(block.qubits)
+        assert np.allclose(
+            block.matrix @ block.matrix.conj().T, np.eye(dim), atol=1e-10
+        )
+
+
+def test_fused_probabilities_normalised():
+    circuit = _layered_circuit()
+    fused = FusedCircuit.from_circuit(circuit, max_fused_qubits=3)
+    probs = probabilities(fused.run())
+    assert np.isclose(probs.sum(), 1.0, atol=1e-10)

@@ -1,0 +1,115 @@
+"""Tests for Pauli strings, Pauli sums and commutation grouping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.operators import PauliString, PauliSum, group_commuting
+
+
+class TestPauliString:
+    def test_identity_factors_are_dropped(self):
+        term = PauliString.from_dict(1.0, {0: "I", 1: "X"})
+        assert term.paulis == ((1, "X"),)
+        assert term.weight() == 1
+
+    def test_invalid_label_raises(self):
+        with pytest.raises(ValueError):
+            PauliString.from_dict(1.0, {0: "Q"})
+
+    def test_from_label(self):
+        term = PauliString.from_label(0.5, "XIZ")
+        assert term.paulis == ((0, "X"), (2, "Z"))
+        assert term.label(3) == "XIZ"
+
+    def test_to_matrix_hermitian(self):
+        term = PauliString.from_dict(0.7, {0: "X", 1: "Y"})
+        matrix = term.to_matrix(2)
+        assert np.allclose(matrix, matrix.conj().T)
+
+    def test_commutes_qubitwise(self):
+        a = PauliString.from_dict(1.0, {0: "X", 1: "Z"})
+        b = PauliString.from_dict(1.0, {0: "X", 2: "Y"})
+        c = PauliString.from_dict(1.0, {0: "Z"})
+        assert a.commutes_qubitwise(b)
+        assert not a.commutes_qubitwise(c)
+
+
+class TestPauliSum:
+    def test_simplify_merges_duplicates(self):
+        total = PauliSum.from_terms(
+            [(0.5, {0: "Z"}), (0.25, {0: "Z"}), (1e-15, {1: "X"})]
+        ).simplify()
+        assert len(total) == 1
+        assert total.terms[0].coefficient == pytest.approx(0.75)
+
+    def test_constant_and_min_qubits(self):
+        total = PauliSum.from_terms([(0.3, {}), (0.1, {3: "Z"})])
+        assert total.constant == pytest.approx(0.3)
+        assert total.n_qubits_min == 4
+
+    def test_ground_energy_single_qubit(self):
+        total = PauliSum.from_terms([(1.0, {0: "Z"})])
+        assert total.ground_energy_dense(1) == pytest.approx(-1.0)
+
+    def test_scaled_and_shifted(self):
+        total = PauliSum.from_terms([(1.0, {0: "Z"})])
+        modified = total.scaled(2.0).shifted(0.5)
+        assert modified.ground_energy_dense(1) == pytest.approx(-1.5)
+
+    def test_addition_concatenates_terms(self):
+        a = PauliSum.from_terms([(1.0, {0: "Z"})])
+        b = PauliSum.from_terms([(2.0, {1: "X"})])
+        assert len(a + b) == 2
+
+
+class TestGrouping:
+    def test_grouping_covers_all_non_identity_terms(self):
+        observable = PauliSum.from_terms(
+            [
+                (0.5, {0: "Z"}),
+                (0.2, {0: "Z", 1: "Z"}),
+                (0.1, {0: "X", 1: "X"}),
+                (0.3, {}),
+            ]
+        )
+        groups = group_commuting(observable)
+        grouped_terms = [t for group in groups for t in group]
+        assert len(grouped_terms) == 3
+        # Z terms share a group; the XX term needs its own setting
+        assert len(groups) == 2
+
+    def test_groups_are_internally_commuting(self):
+        rng = np.random.default_rng(0)
+        terms = []
+        for _ in range(20):
+            paulis = {
+                int(q): rng.choice(["X", "Y", "Z"])
+                for q in rng.choice(4, size=rng.integers(1, 4), replace=False)
+            }
+            terms.append((float(rng.normal()), paulis))
+        groups = group_commuting(PauliSum.from_terms(terms))
+        for group in groups:
+            for i, a in enumerate(group):
+                for b in group[i + 1 :]:
+                    assert a.commutes_qubitwise(b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    coefficients=st.lists(
+        st.floats(-2, 2, allow_nan=False), min_size=1, max_size=5
+    )
+)
+def test_pauli_sum_matrix_is_hermitian(coefficients):
+    rng = np.random.default_rng(42)
+    terms = []
+    for coefficient in coefficients:
+        paulis = {
+            int(q): rng.choice(["X", "Y", "Z"])
+            for q in rng.choice(3, size=rng.integers(1, 3), replace=False)
+        }
+        terms.append((coefficient, paulis))
+    matrix = PauliSum.from_terms(terms).to_matrix(3)
+    assert np.allclose(matrix, matrix.conj().T)

@@ -1,0 +1,128 @@
+"""Tests for layout selection and SWAP routing."""
+
+import numpy as np
+import pytest
+
+from repro.devices.library import get_device
+from repro.quantum.circuit import QuantumCircuit
+from repro.transpile.layout import (
+    interaction_weights,
+    layout_fidelity_score,
+    layout_from_sequence,
+    noise_adaptive_layout,
+    random_layout,
+    sabre_layout,
+    trivial_layout,
+)
+from repro.transpile.routing import route_circuit
+
+
+def _ring_circuit(n_qubits=4):
+    circuit = QuantumCircuit(n_qubits)
+    for qubit in range(n_qubits):
+        circuit.add("u3", (qubit,), (0.3, 0.2, 0.1))
+    for qubit in range(n_qubits):
+        circuit.add("cx", (qubit, (qubit + 1) % n_qubits))
+    return circuit
+
+
+class TestLayouts:
+    def test_trivial_layout(self):
+        device = get_device("santiago")
+        layout = trivial_layout(4, device)
+        assert layout == {0: 0, 1: 1, 2: 2, 3: 3}
+        with pytest.raises(ValueError):
+            trivial_layout(6, device)
+
+    def test_layout_from_sequence_validation(self):
+        device = get_device("santiago")
+        assert layout_from_sequence([2, 0, 4, 1], device) == {0: 2, 1: 0, 2: 4, 3: 1}
+        with pytest.raises(ValueError):
+            layout_from_sequence([0, 0, 1, 2], device)
+        with pytest.raises(ValueError):
+            layout_from_sequence([0, 1, 2, 9], device)
+
+    def test_random_layout_is_injective(self):
+        device = get_device("quito")
+        layout = random_layout(4, device, np.random.default_rng(0))
+        assert len(set(layout.values())) == 4
+
+    def test_interaction_weights(self):
+        circuit = _ring_circuit(3)
+        weights = interaction_weights(circuit)
+        assert weights[(0, 1)] == 1
+        assert weights[(1, 2)] == 1
+        assert weights[(0, 2)] == 1
+
+    def test_noise_adaptive_layout_valid_and_better_than_worst(self):
+        device = get_device("yorktown")
+        circuit = _ring_circuit(4)
+        layout = noise_adaptive_layout(circuit, device)
+        assert len(set(layout.values())) == 4
+        assert all(0 <= p < device.n_qubits for p in layout.values())
+        score = layout_fidelity_score(circuit, layout, device)
+        scores = [
+            layout_fidelity_score(
+                circuit, random_layout(4, device, np.random.default_rng(seed)), device
+            )
+            for seed in range(20)
+        ]
+        assert score >= min(scores)
+
+    def test_sabre_layout_valid(self):
+        device = get_device("belem")
+        circuit = _ring_circuit(4)
+        layout = sabre_layout(circuit, device, n_trials=4, rng=np.random.default_rng(0))
+        assert len(set(layout.values())) == 4
+
+    def test_fidelity_score_in_unit_interval(self):
+        device = get_device("santiago")
+        circuit = _ring_circuit(4)
+        score = layout_fidelity_score(circuit, trivial_layout(4, device), device)
+        assert 0.0 < score <= 1.0
+
+
+class TestRouting:
+    def test_all_two_qubit_gates_respect_coupling_map(self):
+        device = get_device("santiago")  # line topology forces SWAPs for a ring
+        circuit = _ring_circuit(4)
+        routed = route_circuit(circuit, device, trivial_layout(4, device))
+        for instruction in routed.circuit.instructions:
+            if len(instruction.qubits) == 2:
+                assert device.topology.are_adjacent(*instruction.qubits)
+        assert routed.num_swaps > 0
+
+    def test_no_swaps_needed_when_already_adjacent(self):
+        device = get_device("santiago")
+        circuit = QuantumCircuit(3)
+        circuit.add("cx", (0, 1))
+        circuit.add("cx", (1, 2))
+        routed = route_circuit(circuit, device, trivial_layout(3, device))
+        assert routed.num_swaps == 0
+
+    def test_final_layout_is_injective_and_complete(self):
+        device = get_device("santiago")
+        circuit = _ring_circuit(4)
+        routed = route_circuit(circuit, device, trivial_layout(4, device))
+        finals = list(routed.final_layout.values())
+        assert len(set(finals)) == len(finals)
+        assert set(routed.final_layout.keys()) == set(range(4))
+
+    def test_routing_rejects_oversized_circuits(self):
+        device = get_device("santiago")
+        with pytest.raises(ValueError):
+            route_circuit(QuantumCircuit(6), device, {i: i for i in range(6)})
+
+    def test_routing_rejects_incomplete_layout(self):
+        device = get_device("santiago")
+        circuit = _ring_circuit(3)
+        with pytest.raises(ValueError):
+            route_circuit(circuit, device, {0: 0, 1: 1})
+
+    def test_used_qubits_cover_layout(self):
+        device = get_device("quito")
+        circuit = _ring_circuit(4)
+        layout = {0: 0, 1: 1, 2: 3, 3: 4}
+        routed = route_circuit(circuit, device, layout)
+        for physical in layout.values():
+            assert physical in routed.used_qubits

@@ -1,0 +1,84 @@
+"""Tests for search-artifact serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.design_space import get_design_space
+from repro.core.subcircuit import SubCircuitConfig
+from repro.utils.serialization import (
+    load_searched_circuit,
+    save_searched_circuit,
+    searched_circuit_from_dict,
+    searched_circuit_to_dict,
+)
+
+
+def _sample_config():
+    space = get_design_space("u3cu3")
+    return space, SubCircuitConfig(3, tuple([(2, 3)] * space.max_blocks))
+
+
+def test_dict_roundtrip_preserves_everything():
+    space, config = _sample_config()
+    weights = np.linspace(-1.0, 1.0, config.num_parameters(space))
+    keep = np.array([i % 2 == 0 for i in range(weights.size)])
+    payload = searched_circuit_to_dict(
+        "u3cu3", 4, config, (3, 1, 0, 2), weights=weights, keep_mask=keep,
+        metadata={"device": "yorktown", "accuracy": 0.89},
+    )
+    loaded_space, n_qubits, loaded_config, mapping, loaded_weights, loaded_keep, meta = (
+        searched_circuit_from_dict(payload)
+    )
+    assert loaded_space.name == "u3cu3"
+    assert n_qubits == 4
+    assert loaded_config == config
+    assert mapping == (3, 1, 0, 2)
+    assert np.allclose(loaded_weights, weights)
+    assert np.array_equal(loaded_keep, keep)
+    assert meta["device"] == "yorktown"
+
+
+def test_file_roundtrip(tmp_path):
+    space, config = _sample_config()
+    path = save_searched_circuit(
+        tmp_path / "artifacts" / "searched.json",
+        space_name="u3cu3", n_qubits=4, config=config, mapping=(0, 1, 2, 3),
+    )
+    assert path.exists()
+    loaded_space, n_qubits, loaded_config, mapping, weights, keep, meta = (
+        load_searched_circuit(path)
+    )
+    assert loaded_config == config
+    assert weights is None and keep is None
+    assert meta == {}
+
+
+def test_invalid_space_rejected():
+    _space, config = _sample_config()
+    with pytest.raises(KeyError):
+        searched_circuit_to_dict("nonsense", 4, config, (0, 1, 2, 3))
+
+
+def test_optional_fields_omitted_when_absent():
+    _space, config = _sample_config()
+    payload = searched_circuit_to_dict("u3cu3", 4, config, (0, 1, 2, 3))
+    assert "weights" not in payload
+    assert "keep_mask" not in payload
+    assert "metadata" not in payload
+
+
+def test_loaded_config_rebuilds_circuit():
+    """A deserialized config can be turned back into a runnable circuit."""
+    from repro.core.supercircuit import SuperCircuit
+
+    space, config = _sample_config()
+    payload = searched_circuit_to_dict("u3cu3", 4, config, (0, 1, 2, 3))
+    loaded_space, n_qubits, loaded_config, _mapping, _w, _k, _m = (
+        searched_circuit_from_dict(payload)
+    )
+    supercircuit = SuperCircuit(loaded_space, n_qubits, seed=0)
+    circuit, mapping_idx = supercircuit.build_standalone_circuit(
+        loaded_config, include_encoder=False
+    )
+    assert circuit.num_weights == loaded_config.num_parameters(loaded_space)
+    assert len(mapping_idx) == circuit.num_weights
