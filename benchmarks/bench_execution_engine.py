@@ -1,0 +1,126 @@
+"""Population-evaluation speed: batched execution engine vs sequential estimator.
+
+The workload models the co-search hot path on a 4-qubit task: a 32-candidate
+population drawn as 8 SubCircuit genomes x 4 qubit mappings each — the shape
+of a mapping-heavy generation (parents re-explored under new mappings, the
+Fig. 19 mapping-only search, and late generations where genomes converge).
+
+Both estimator modes are measured and pinned for equivalence; the >= 3x
+speedup gate applies to the ``noise_sim`` workload, where the batched
+density-matrix runner replaces per-sample simulation.  A second (warm) pass
+reports the steady-state regime where the transpile/structure caches are hot,
+as seen by later generations re-evaluating surviving candidates.
+
+``BENCH_SMOKE=1`` shrinks the workload to CI smoke-test size (the speedup
+gate is skipped there — timings on shared CI runners are not meaningful).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from helpers import print_table, small_task
+from repro.core import (
+    EstimatorConfig,
+    EvolutionConfig,
+    EvolutionEngine,
+    PerformanceEstimator,
+    SuperCircuit,
+    get_design_space,
+)
+from repro.core.evolution import Candidate
+from repro.devices import get_device
+from repro.execution import ExecutionEngine
+
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
+N_QUBITS = 4
+N_GENOMES = 2 if SMOKE else 8
+MAPPINGS_PER_GENOME = 2 if SMOKE else 4
+N_VALID_NOISE_SIM = 2 if SMOKE else 8
+N_VALID_SUCCESS_RATE = 4 if SMOKE else 16
+REQUIRED_SPEEDUP = 3.0
+
+
+def build_population(space, device, seed=11):
+    evolution = EvolutionEngine(space, N_QUBITS, device, EvolutionConfig(seed=seed))
+    genomes = [evolution.random_config() for _ in range(N_GENOMES)]
+    return [
+        Candidate(genome, evolution.random_mapping())
+        for genome in genomes
+        for _ in range(MAPPINGS_PER_GENOME)
+    ]
+
+
+def evaluate(engine_mode, mode, n_valid, supercircuit, device, candidates,
+             dataset, n_classes, repeat_warm=False):
+    estimator = PerformanceEstimator(
+        device,
+        EstimatorConfig(mode=mode, n_valid_samples=n_valid, engine=engine_mode),
+    )
+    engine = ExecutionEngine(estimator, supercircuit)
+    start = time.perf_counter()
+    scores = engine.evaluate_qml_population(candidates, dataset, n_classes)
+    elapsed = time.perf_counter() - start
+    warm_elapsed = None
+    if repeat_warm:
+        start = time.perf_counter()
+        engine.evaluate_qml_population(candidates, dataset, n_classes)
+        warm_elapsed = time.perf_counter() - start
+    return np.array(scores), elapsed, warm_elapsed
+
+
+def run_experiment():
+    dataset, encoder = small_task("mnist-4")
+    space = get_design_space("u3cu3")
+    device = get_device("yorktown")
+    supercircuit = SuperCircuit(space, N_QUBITS, encoder=encoder, seed=3)
+    candidates = build_population(space, device)
+
+    rows = []
+    results = {}
+    for mode, n_valid in (("noise_sim", N_VALID_NOISE_SIM),
+                          ("success_rate", N_VALID_SUCCESS_RATE)):
+        seq_scores, seq_time, _ = evaluate(
+            "sequential", mode, n_valid, supercircuit, device, candidates,
+            dataset, dataset.n_classes,
+        )
+        bat_scores, bat_time, warm_time = evaluate(
+            "batched", mode, n_valid, supercircuit, device, candidates,
+            dataset, dataset.n_classes, repeat_warm=True,
+        )
+        max_diff = float(np.max(np.abs(seq_scores - bat_scores)))
+        results[mode] = {
+            "speedup": seq_time / bat_time,
+            "warm_speedup": seq_time / warm_time,
+            "max_diff": max_diff,
+        }
+        rows.append([
+            mode, len(candidates), n_valid,
+            seq_time, bat_time, seq_time / bat_time,
+            seq_time / warm_time, max_diff,
+        ])
+    return rows, results
+
+
+def test_execution_engine_speedup(benchmark):
+    rows, results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        ["estimator mode", "candidates", "valid samples", "sequential s",
+         "batched s", "speedup", "warm speedup", "max |diff|"],
+        rows,
+        title=(
+            f"Execution engine — population evaluation "
+            f"({N_QUBITS} qubits, {N_GENOMES * MAPPINGS_PER_GENOME} candidates, "
+            f"Yorktown)"
+        ),
+    )
+    # the engine must be a pure reorganization of the same numbers
+    for mode, result in results.items():
+        assert result["max_diff"] < 1e-9, (mode, result)
+    if not SMOKE:
+        # the acceptance gate: >= 3x on the noise_sim population workload
+        assert results["noise_sim"]["speedup"] >= REQUIRED_SPEEDUP, results
+        # success_rate must at least not regress cold and win big warm
+        assert results["success_rate"]["speedup"] > 0.9, results
+        assert results["success_rate"]["warm_speedup"] > 3.0, results

@@ -65,15 +65,22 @@ def fast_pipeline_config(
     estimator_mode: str = "success_rate",
     pruning_ratio: Optional[float] = None,
     seed: int = 0,
+    engine: str = "batched",
 ) -> QMLPipelineConfig:
-    """A QuantumNAS pipeline budget small enough for the benchmark harness."""
+    """A QuantumNAS pipeline budget small enough for the benchmark harness.
+
+    ``engine`` selects how co-search populations are evaluated: ``"batched"``
+    submits them through the execution engine, ``"sequential"`` replays the
+    per-candidate estimator path (the two agree to 1e-9).
+    """
     return QMLPipelineConfig(
         super_train=SuperTrainConfig(steps=40, batch_size=32, seed=seed),
         evolution=EvolutionConfig(
             iterations=6, population_size=12, parent_size=4,
             mutation_size=5, crossover_size=3, seed=seed,
         ),
-        estimator=EstimatorConfig(mode=estimator_mode, n_valid_samples=8, seed=seed),
+        estimator=EstimatorConfig(mode=estimator_mode, n_valid_samples=8, seed=seed,
+                                  engine=engine),
         sub_train=TrainConfig(epochs=EPOCHS, batch_size=32, learning_rate=0.02,
                               seed=seed),
         pruning_ratio=pruning_ratio,
@@ -120,6 +127,7 @@ def run_quantumnas_qml(
     estimator_mode: str = "success_rate",
     seed: int = 0,
     device=None,
+    engine: str = "batched",
 ):
     """Run the full (scaled-down) QuantumNAS pipeline and return its result."""
     dataset, encoder = small_task(task)
@@ -130,7 +138,8 @@ def run_quantumnas_qml(
         dataset.n_classes,
         device if device is not None else get_device(device_name),
         encoder,
-        config=fast_pipeline_config(estimator_mode, pruning_ratio, seed),
+        config=fast_pipeline_config(estimator_mode, pruning_ratio, seed,
+                                    engine=engine),
     )
     return pipeline.run()
 

@@ -9,17 +9,30 @@ The package is organised as:
 * :mod:`repro.qml`       — quantum-machine-learning layer (encoders, QNNs, training)
 * :mod:`repro.vqe`       — variational-quantum-eigensolver layer (molecules, UCCSD)
 * :mod:`repro.core`      — QuantumNAS itself (SuperCircuit, co-search, pruning)
+* :mod:`repro.execution` — batched population-evaluation engine for the co-search
 * :mod:`repro.baselines` — human / random / noise-unaware baselines
 """
 
 __version__ = "0.1.0"
 
-from . import baselines, core, devices, noise, qml, quantum, transpile, utils, vqe
+from . import (
+    baselines,
+    core,
+    devices,
+    execution,
+    noise,
+    qml,
+    quantum,
+    transpile,
+    utils,
+    vqe,
+)
 
 __all__ = [
     "baselines",
     "core",
     "devices",
+    "execution",
     "noise",
     "qml",
     "quantum",

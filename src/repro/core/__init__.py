@@ -13,6 +13,7 @@ from .evolution import (
     EvolutionConfig,
     EvolutionEngine,
     EvolutionResult,
+    PopulationScoreFn,
     random_search,
 )
 from .pipeline import (
@@ -55,6 +56,7 @@ __all__ = [
     "EvolutionConfig",
     "EvolutionEngine",
     "EvolutionResult",
+    "PopulationScoreFn",
     "random_search",
     "QMLPipelineConfig",
     "QMLPipelineResult",

@@ -47,11 +47,18 @@ class EstimatorConfig:
     n_valid_samples: int = 24
     shots: int = 2048                # only used in real_qc mode
     seed: int = 0
+    # -- population execution engine (see repro.execution) --------------------
+    engine: str = "batched"          # batched | sequential
+    fusion: bool = True              # gate-fuse concrete segments of the hot loop
+    max_fused_qubits: int = 3
+    transpile_cache_size: int = 1024
 
     def __post_init__(self) -> None:
         valid = ("auto", "noise_sim", "success_rate", "noise_free", "real_qc")
         if self.mode not in valid:
             raise ValueError(f"mode must be one of {valid}")
+        if self.engine not in ("batched", "sequential"):
+            raise ValueError("engine must be 'batched' or 'sequential'")
 
 
 class PerformanceEstimator:
@@ -68,15 +75,58 @@ class PerformanceEstimator:
             max_density_qubits=self.config.max_density_qubits,
         )
         self.num_queries = 0
+        # Task-level artifacts (the observable PauliSum and its measurement
+        # grouping) are fixed across an entire co-search, so they are derived
+        # once per task instead of once per candidate.  Entries keep a strong
+        # reference to the molecule: the keys are object ids, which CPython
+        # may otherwise reuse after garbage collection.
+        self._observables: Dict[int, Tuple[Molecule, PauliSum]] = {}
+        self._measurement_plans: Dict[Tuple[int, int], Tuple[Molecule, "MeasurementPlan"]] = {}
 
     # -- mode resolution ---------------------------------------------------------
 
-    def _resolve_mode(self, n_qubits: int) -> str:
+    def resolve_mode(self, n_qubits: int) -> str:
+        """The estimation mode used for an ``n_qubits`` candidate."""
         if self.config.mode != "auto":
             return self.config.mode
         if n_qubits <= self.config.max_density_qubits:
             return "noise_sim"
         return "success_rate"
+
+    # backwards-compatible alias
+    _resolve_mode = resolve_mode
+
+    # -- task-level observables ---------------------------------------------------
+
+    def observable_for(self, molecule: Molecule) -> PauliSum:
+        """The molecule's Hamiltonian, derived once per task.
+
+        The observable is identical for every candidate of a co-search; this
+        hoists it out of the per-candidate hot path so implementations whose
+        ``hamiltonian`` is derived lazily are only queried once.
+        """
+        key = id(molecule)
+        if key not in self._observables:
+            self._observables[key] = (molecule, molecule.hamiltonian)
+        return self._observables[key][1]
+
+    def measurement_plan_for(self, molecule: Molecule, n_qubits: int):
+        """The commuting-group measurement plan, derived once per task."""
+        from ..quantum.measurement import MeasurementPlan
+
+        key = (id(molecule), int(n_qubits))
+        if key not in self._measurement_plans:
+            self._measurement_plans[key] = (
+                molecule,
+                MeasurementPlan(self.observable_for(molecule), int(n_qubits)),
+            )
+        return self._measurement_plans[key][1]
+
+    def population_engine(self, supercircuit):
+        """An :class:`~repro.execution.ExecutionEngine` bound to this estimator."""
+        from ..execution.engine import ExecutionEngine
+
+        return ExecutionEngine(self, supercircuit)
 
     # -- QML -----------------------------------------------------------------------
 
@@ -91,8 +141,8 @@ class PerformanceEstimator:
         """Predicted validation loss of a QML SubCircuit (lower is better)."""
         self.num_queries += 1
         model = QNNModel.from_circuit(circuit, n_classes)
-        features, labels = self._validation_subset(dataset)
-        mode = self._resolve_mode(circuit.n_qubits)
+        features, labels = self.validation_subset(dataset)
+        mode = self.resolve_mode(circuit.n_qubits)
 
         if mode == "noise_free":
             out = model.forward(weights, features)
@@ -122,11 +172,14 @@ class PerformanceEstimator:
         logits = model.logits_from_expectations(expectations)
         return nll_loss(softmax(logits), labels)
 
-    def _validation_subset(self, dataset: Dataset) -> Tuple[np.ndarray, np.ndarray]:
+    def validation_subset(self, dataset: Dataset) -> Tuple[np.ndarray, np.ndarray]:
         n_valid = len(dataset.y_valid)
         count = min(self.config.n_valid_samples, n_valid)
         index = np.arange(count)  # deterministic subset keeps candidates comparable
         return dataset.x_valid[index], dataset.y_valid[index]
+
+    # backwards-compatible alias
+    _validation_subset = validation_subset
 
     # -- VQE -----------------------------------------------------------------------
 
@@ -139,8 +192,8 @@ class PerformanceEstimator:
     ) -> float:
         """Predicted measured energy of a VQE ansatz (lower is better)."""
         self.num_queries += 1
-        hamiltonian = molecule.hamiltonian
-        mode = self._resolve_mode(ansatz.n_qubits)
+        hamiltonian = self.observable_for(molecule)
+        mode = self.resolve_mode(ansatz.n_qubits)
 
         states = run_parameterized(ansatz, weights)
         noise_free_energy = float(expectation_pauli_sum(states, hamiltonian)[0])
@@ -162,7 +215,11 @@ class PerformanceEstimator:
         if mode == "real_qc":
             from ..vqe.vqe import VQEModel
 
-            model = VQEModel(ansatz, molecule)
+            model = VQEModel(
+                ansatz,
+                molecule,
+                measurement_plan=self.measurement_plan_for(molecule, ansatz.n_qubits),
+            )
             return model.measure_energy(
                 weights,
                 self._backend,
@@ -181,11 +238,11 @@ class PerformanceEstimator:
         noise_model = self.device.noise_model().reduced(used_physical)
         simulator = DensityMatrixSimulator(reduced.n_qubits, noise_model)
         rho = simulator.run(reduced)
-        remapped = self._remap_hamiltonian(hamiltonian, compiled, used_physical)
+        remapped = self.remap_hamiltonian(hamiltonian, compiled, used_physical)
         return expectation_pauli_sum_dm(rho, remapped)
 
     @staticmethod
-    def _remap_hamiltonian(
+    def remap_hamiltonian(
         hamiltonian: PauliSum, compiled, used_physical: Sequence[int]
     ) -> PauliSum:
         physical_to_reduced = {phys: i for i, phys in enumerate(used_physical)}

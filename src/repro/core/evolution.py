@@ -21,7 +21,7 @@ from .design_space import DesignSpace
 from .subcircuit import SubCircuitConfig
 
 __all__ = ["Candidate", "EvolutionConfig", "EvolutionResult", "EvolutionEngine",
-           "random_search"]
+           "PopulationScoreFn", "random_search"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +61,9 @@ class EvolutionResult:
 
 
 ScoreFn = Callable[[SubCircuitConfig, Tuple[int, ...]], float]
+#: scores a whole population at once (see repro.execution.ExecutionEngine);
+#: must return one lower-is-better score per candidate, in order
+PopulationScoreFn = Callable[[Sequence["Candidate"]], Sequence[float]]
 
 
 class EvolutionEngine:
@@ -172,8 +175,24 @@ class EvolutionEngine:
 
     # -- main loop ----------------------------------------------------------------------
 
-    def search(self, score_fn: ScoreFn, verbose: bool = False) -> EvolutionResult:
-        """Run the evolutionary search; ``score_fn`` returns lower-is-better."""
+    def search(
+        self,
+        score_fn: Optional[ScoreFn] = None,
+        verbose: bool = False,
+        population_score_fn: Optional[PopulationScoreFn] = None,
+    ) -> EvolutionResult:
+        """Run the evolutionary search (scores are lower-is-better).
+
+        Scoring goes through exactly one of two interfaces: ``score_fn``
+        evaluates one ``(config, mapping)`` at a time, while
+        ``population_score_fn`` receives every not-yet-cached candidate of a
+        generation at once — the hook the batched
+        :class:`~repro.execution.ExecutionEngine` plugs into.
+        """
+        if (score_fn is None) == (population_score_fn is None):
+            raise ValueError(
+                "provide exactly one of score_fn or population_score_fn"
+            )
         population = [self.random_candidate() for _ in range(self.config.population_size)]
         cache: Dict[Tuple[int, ...], float] = {}
         history: List[Dict[str, float]] = []
@@ -182,6 +201,24 @@ class EvolutionEngine:
         best_score = float("inf")
 
         for iteration in range(self.config.iterations):
+            if population_score_fn is not None:
+                pending: List[Candidate] = []
+                seen: set = set()
+                for candidate in population:
+                    key = tuple(candidate.gene())
+                    if key not in cache and key not in seen:
+                        seen.add(key)
+                        pending.append(candidate)
+                if pending:
+                    scores = population_score_fn(pending)
+                    if len(scores) != len(pending):
+                        raise ValueError(
+                            "population_score_fn returned "
+                            f"{len(scores)} scores for {len(pending)} candidates"
+                        )
+                    for candidate, score in zip(pending, scores):
+                        cache[tuple(candidate.gene())] = float(score)
+                    evaluated += len(pending)
             scored: List[Tuple[float, Candidate]] = []
             for candidate in population:
                 key = tuple(candidate.gene())

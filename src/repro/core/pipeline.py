@@ -128,15 +128,15 @@ class QuantumNASQMLPipeline:
         engine = EvolutionEngine(
             self.space, self.n_qubits, self.device, self.config.evolution
         )
-
-        def score(sub_config: SubCircuitConfig, mapping: Tuple[int, ...]) -> float:
-            circuit, _mapping_idx = self.supercircuit.build_standalone_circuit(sub_config)
-            weights = self.supercircuit.inherited_weights(sub_config)
-            return estimator.estimate_qml(
-                circuit, weights, self.dataset, self.n_classes, layout=mapping
+        # Populations are submitted through the execution engine, which
+        # batches them (or replays the per-candidate seed path when
+        # ``EstimatorConfig.engine == "sequential"``).
+        execution = estimator.population_engine(self.supercircuit)
+        return engine.search(
+            population_score_fn=execution.qml_population_scorer(
+                self.dataset, self.n_classes
             )
-
-        return engine.search(score)
+        )
 
     def train_best(self, sub_config: SubCircuitConfig):
         return train_subcircuit_qml(
@@ -283,15 +283,10 @@ class QuantumNASVQEPipeline:
         engine = EvolutionEngine(
             self.space, self.n_qubits, self.device, self.config.evolution
         )
-
-        def score(sub_config: SubCircuitConfig, mapping: Tuple[int, ...]) -> float:
-            circuit, _idx = self.supercircuit.build_standalone_circuit(
-                sub_config, include_encoder=False
-            )
-            weights = self.supercircuit.inherited_weights(sub_config)
-            return estimator.estimate_vqe(circuit, weights, self.molecule, layout=mapping)
-
-        return engine.search(score)
+        execution = estimator.population_engine(self.supercircuit)
+        return engine.search(
+            population_score_fn=execution.vqe_population_scorer(self.molecule)
+        )
 
     def measure(
         self, model: VQEModel, weights: np.ndarray, mapping: Tuple[int, ...]

@@ -25,7 +25,59 @@ from ..transpile.compiler import CompiledCircuit, transpile
 from ..utils.rng import ensure_rng
 from .library import Device
 
-__all__ = ["BackendResult", "QuantumBackend"]
+__all__ = [
+    "BackendResult",
+    "QuantumBackend",
+    "approximate_probabilities",
+    "logical_probabilities",
+]
+
+
+def approximate_probabilities(
+    reduced: QuantumCircuit, noise_model: NoiseModel
+) -> np.ndarray:
+    """Success-rate (global depolarizing) approximation for large circuits.
+
+    Shared between the shot-based backend and the batched population execution
+    engine so both fall back identically beyond the density-matrix regime.
+    """
+    states = run_circuit(reduced, states=zero_state(reduced.n_qubits, 1))
+    ideal = sv_probabilities(states)[0]
+    rate = noise_model.circuit_success_rate(reduced)
+    uniform = np.full_like(ideal, 1.0 / ideal.size)
+    return rate * ideal + (1.0 - rate) * uniform
+
+
+def logical_probabilities(
+    reduced_probs: np.ndarray,
+    compiled: CompiledCircuit,
+    used_physical: Sequence[int],
+    n_logical: int,
+) -> np.ndarray:
+    """Marginalize/reorder reduced-register probabilities onto logical qubits.
+
+    Shared between the shot-based backend and the batched population execution
+    engine so both map physical measurement outcomes identically.
+    """
+    k = len(used_physical)
+    probs = np.asarray(reduced_probs, dtype=float).reshape((2,) * k)
+    physical_to_reduced = {phys: i for i, phys in enumerate(used_physical)}
+    logical_axes = []
+    for logical in range(n_logical):
+        physical = compiled.final_layout[logical]
+        logical_axes.append(physical_to_reduced[physical])
+    # Sum out every reduced axis that does not carry a logical qubit, then
+    # order the remaining axes logically.
+    keep = logical_axes
+    drop = tuple(a for a in range(k) if a not in keep)
+    marginal = probs.sum(axis=drop) if drop else probs
+    # After dropping, remaining axes appear in increasing reduced order.
+    remaining = [a for a in range(k) if a not in drop]
+    order = [remaining.index(a) for a in keep]
+    marginal = np.transpose(marginal, axes=order)
+    flat = marginal.reshape(-1)
+    total = flat.sum()
+    return flat / total if total > 0 else flat
 
 
 @dataclass
@@ -132,12 +184,7 @@ class QuantumBackend:
     def _approximate_probabilities(
         self, reduced: QuantumCircuit, noise_model: NoiseModel
     ) -> np.ndarray:
-        """Success-rate (global depolarizing) approximation for large circuits."""
-        states = run_circuit(reduced, states=zero_state(reduced.n_qubits, 1))
-        ideal = sv_probabilities(states)[0]
-        rate = noise_model.circuit_success_rate(reduced)
-        uniform = np.full_like(ideal, 1.0 / ideal.size)
-        return rate * ideal + (1.0 - rate) * uniform
+        return approximate_probabilities(reduced, noise_model)
 
     def _logical_probabilities(
         self,
@@ -146,23 +193,13 @@ class QuantumBackend:
         used_physical: Sequence[int],
         n_logical: int,
     ) -> np.ndarray:
-        """Marginalize/reorder reduced-register probabilities onto logical qubits."""
-        k = len(used_physical)
-        probs = np.asarray(reduced_probs, dtype=float).reshape((2,) * k)
-        physical_to_reduced = {phys: i for i, phys in enumerate(used_physical)}
-        logical_axes = []
-        for logical in range(n_logical):
-            physical = compiled.final_layout[logical]
-            logical_axes.append(physical_to_reduced[physical])
-        # Sum out every reduced axis that does not carry a logical qubit, then
-        # order the remaining axes logically.
-        keep = logical_axes
-        drop = tuple(a for a in range(k) if a not in keep)
-        marginal = probs.sum(axis=drop) if drop else probs
-        # After dropping, remaining axes appear in increasing reduced order.
-        remaining = [a for a in range(k) if a not in drop]
-        order = [remaining.index(a) for a in keep]
-        marginal = np.transpose(marginal, axes=order)
-        flat = marginal.reshape(-1)
-        total = flat.sum()
-        return flat / total if total > 0 else flat
+        return logical_probabilities(reduced_probs, compiled, used_physical, n_logical)
+
+    def record_executions(self, n: int = 1) -> None:
+        """Count circuits executed on the backend's behalf by external engines.
+
+        The batched population engine simulates compiled circuits itself but
+        still charges them to the backend so the paper's #QC-runs budget
+        (:attr:`executions`) stays comparable across engines.
+        """
+        self._executions += int(n)

@@ -1,0 +1,53 @@
+"""Population execution engine for the evolutionary co-search hot path.
+
+The co-search evaluates hundreds of (SubCircuit, qubit-mapping) candidates per
+generation.  Evaluating them one at a time wastes most of the wall clock on
+work that is shared across the population.  This package batches that work
+along four axes:
+
+**Genome grouping.**  Candidates are grouped by SubCircuit genome
+(``config.as_gene()``).  The standalone circuit, the inherited SuperCircuit
+weights and the gate-fusion plan are built once per unique genome — a
+mapping-only or late-generation population collapses to a handful of circuit
+builds.  Everything that does not depend on the qubit mapping (the noise-free
+forward pass, QML validation losses, VQE energies) is computed once per group
+and shared by every candidate in it.
+
+**Batched statevector evaluation.**  Noise-free forwards run over the whole
+validation set at once in the ``(batch,) + (2,) * n_qubits`` state layout
+(the paper's Fig. 12 batched execution mode), with consecutive concrete
+(weight-bound) gate segments fused into dense ≤ ``max_fused_qubits`` unitaries
+via :mod:`repro.quantum.fusion` — TorchQuantum's static mode — so the hot
+loop applies fewer, larger contractions.  Per-sample encoder gates stay
+dynamic and are applied with batched matrices.
+
+**LRU transpilation cache.**  Compilations are memoized by (bound-circuit
+fingerprint, device, initial layout, optimization level).  Duplicated
+candidates, surviving parents and repeated (genome, mapping) pairs across
+generations reuse the exact compiled object instead of re-running layout,
+routing, decomposition and the optimization passes.  Compiled circuits are
+treated as immutable shared state.
+
+**Batched density-matrix simulation.**  ``noise_sim`` candidates submit their
+compiled circuits to a runner that groups structurally aligned circuits
+(same gates and qubits at every position — e.g. every validation sample of a
+candidate, which differ only in encoder angles) and evolves the whole group
+as one ``(batch,) + (2,) * 2n`` density-matrix stack.  Noise channels depend
+only on gate arity and qubits, so their superoperators are derived once per
+gate position instead of once per circuit.
+
+``EstimatorConfig(engine="sequential")`` routes every candidate through the
+original per-candidate estimator calls, bit-for-bit identical to the seed
+implementation; the equivalence tests in ``tests/execution`` pin the batched
+mode against it to 1e-9 on expectations, losses and evolution rankings.
+"""
+
+from .cache import TranspileCache, TranspileCacheStats
+from .engine import ExecutionEngine, ExecutionStats
+
+__all__ = [
+    "TranspileCache",
+    "TranspileCacheStats",
+    "ExecutionEngine",
+    "ExecutionStats",
+]

@@ -1,0 +1,133 @@
+"""LRU transpilation cache for the population execution engine.
+
+During the evolutionary co-search the same (SubCircuit genome, qubit mapping)
+pair is compiled over and over: duplicated candidates inside a population,
+parents that survive across generations, and — in ``noise_sim`` mode — every
+validation sample of a candidate that another candidate with the same genome
+and mapping already executed.  Compilation is pure (layout, routing,
+decomposition and the optimization passes are deterministic functions of the
+circuit, device, layout and optimization level), so compiled circuits can be
+shared freely as long as nobody mutates them.
+
+The cache key is the full fingerprint of the *bound* logical circuit (gate
+names, qubits and parameter values) plus the device, the normalized initial
+layout and the optimization level.  Keying on the bound instruction stream
+rather than the genome alone keeps the cache exact: two candidates only share
+a compilation when their compiled circuits would be identical object-for-
+object.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+from ..devices.library import Device
+from ..quantum.circuit import QuantumCircuit
+from ..transpile.compiler import CompiledCircuit, transpile
+
+__all__ = ["TranspileCacheStats", "TranspileCache"]
+
+
+@dataclass
+class TranspileCacheStats:
+    """Hit/miss counters of a :class:`TranspileCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+def _normalize_layout(initial_layout) -> Hashable:
+    """A hashable, order-insensitive representation of a layout spec."""
+    if initial_layout is None or isinstance(initial_layout, str):
+        return initial_layout
+    if isinstance(initial_layout, dict):
+        return ("dict",) + tuple(sorted(
+            (int(k), int(v)) for k, v in initial_layout.items()
+        ))
+    return ("seq",) + tuple(int(q) for q in initial_layout)
+
+
+def circuit_fingerprint(circuit: QuantumCircuit) -> Tuple:
+    """Hashable fingerprint of a concrete circuit (structure and parameters)."""
+    return (
+        circuit.n_qubits,
+        tuple(
+            (inst.gate, inst.qubits, inst.params) for inst in circuit.instructions
+        ),
+    )
+
+
+class TranspileCache:
+    """An LRU cache mapping logical circuits to their compiled form.
+
+    ``get`` returns the *same* :class:`CompiledCircuit` object for every hit —
+    callers must treat compiled circuits as immutable.  The engine's
+    regression tests verify that population evaluation never mutates a cached
+    compilation.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self.stats = TranspileCacheStats()
+        self._entries: "OrderedDict[Tuple, CompiledCircuit]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(
+        self,
+        circuit: QuantumCircuit,
+        device: Device,
+        initial_layout,
+        optimization_level: int,
+    ) -> Tuple:
+        return (
+            device.name,
+            int(optimization_level),
+            _normalize_layout(initial_layout),
+            circuit_fingerprint(circuit),
+        )
+
+    def get(
+        self,
+        circuit: QuantumCircuit,
+        device: Device,
+        initial_layout=None,
+        optimization_level: int = 2,
+    ) -> CompiledCircuit:
+        """Compile ``circuit`` (or return the cached compilation)."""
+        key = self.key_for(circuit, device, initial_layout, optimization_level)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.stats.misses += 1
+        compiled = transpile(
+            circuit,
+            device,
+            initial_layout=initial_layout,
+            optimization_level=optimization_level,
+        )
+        self._entries[key] = compiled
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return compiled
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats = TranspileCacheStats()

@@ -1,0 +1,658 @@
+"""Batched population-evaluation engine for the evolutionary co-search.
+
+See the package docstring (:mod:`repro.execution`) for the grouping/batching
+strategy.  The short version:
+
+1.  Candidates are grouped by SubCircuit genome; the standalone circuit,
+    inherited weights and gate-fusion plan are built once per unique genome
+    instead of once per candidate.
+2.  The noise-free forward pass runs once per genome group with concrete gate
+    segments fused into dense ≤ ``max_fused_qubits`` unitaries (TorchQuantum
+    static mode), batched over validation samples in the
+    ``(batch,) + (2,) * n`` state layout.
+3.  Transpilations are memoized in an LRU cache keyed by the bound circuit
+    fingerprint, device, layout and optimization level.
+4.  ``noise_sim`` candidates submit their compiled circuits to a batched
+    density-matrix runner that stacks structurally aligned circuits and
+    evolves them through one sequence of (shared-noise) contractions.
+
+``mode="sequential"`` reproduces the seed per-candidate estimator calls
+bit-for-bit and is the reference the equivalence tests pin the batched mode
+against.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..devices.backend import approximate_probabilities, logical_probabilities
+from ..qml.qnn import readout_matrix
+from ..quantum.circuit import Instruction, ParameterizedCircuit, QuantumCircuit
+from ..quantum.density_matrix import (
+    apply_kraus_batch,
+    apply_unitary_batch,
+    density_probabilities,
+    expectation_pauli_sum_dm,
+    zero_density_matrices,
+)
+from ..quantum.fusion import fuse_circuit
+from ..quantum.statevector import (
+    apply_matrix,
+    expectation_pauli_sum,
+    expectation_z_all,
+    op_matrix,
+    zero_state,
+)
+from ..utils.stats import nll_loss, softmax
+from .cache import TranspileCache
+
+__all__ = ["ExecutionStats", "ExecutionEngine"]
+
+
+@dataclass
+class ExecutionStats:
+    """Counters describing what the engine amortized."""
+
+    populations: int = 0
+    candidates: int = 0
+    config_groups: int = 0
+    fused_segments: int = 0
+    density_batches: int = 0
+    density_circuits: int = 0
+    sequential_fallbacks: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Per-genome structure cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _StructureEntry:
+    """Standalone circuit + inherited weights for one SubCircuit genome."""
+
+    circuit: ParameterizedCircuit
+    weights: np.ndarray
+    fusion_plan: Optional[List[Tuple[str, object]]] = None
+
+
+# ---------------------------------------------------------------------------
+# Batched density-matrix runner
+# ---------------------------------------------------------------------------
+
+
+class _DensityJob:
+    """One unique compiled circuit awaiting noisy simulation."""
+
+    __slots__ = (
+        "compiled", "reduced", "used_physical", "noise_model", "rho",
+        "reduced_probs", "_probs_with_readout", "_logical_expectations",
+    )
+
+    def __init__(self, compiled) -> None:
+        self.compiled = compiled
+        self.reduced, self.used_physical = compiled.reduced_circuit()
+        self.noise_model = None
+        self.rho: Optional[np.ndarray] = None
+        self.reduced_probs: Optional[np.ndarray] = None
+        self._probs_with_readout: Optional[np.ndarray] = None
+        self._logical_expectations: Dict[int, np.ndarray] = {}
+
+    @property
+    def n_reduced(self) -> int:
+        return self.reduced.n_qubits
+
+    def probabilities(self) -> np.ndarray:
+        """Reduced-register probabilities, matching the shot-based backend."""
+        if self._probs_with_readout is None:
+            if self.reduced_probs is not None:
+                # large-circuit approximation — no readout confusion, exactly
+                # like QuantumBackend._approximate_probabilities
+                self._probs_with_readout = self.reduced_probs
+            else:
+                probs = density_probabilities(self.rho)
+                if self.noise_model is not None:
+                    probs = self.noise_model.apply_readout_error(
+                        probs, self.n_reduced
+                    )
+                self._probs_with_readout = probs
+        return self._probs_with_readout
+
+    def logical_z_expectations(self, n_logical: int) -> np.ndarray:
+        """Per-logical-qubit Z expectations, matching ``BackendResult``."""
+        n_logical = int(n_logical)
+        if n_logical not in self._logical_expectations:
+            probs = logical_probabilities(
+                self.probabilities(), self.compiled, self.used_physical, n_logical
+            ).reshape((2,) * n_logical)
+            out = np.zeros(n_logical)
+            for qubit in range(n_logical):
+                axes = tuple(a for a in range(n_logical) if a != qubit)
+                marginal = probs.sum(axis=axes)
+                out[qubit] = marginal[0] - marginal[1]
+            self._logical_expectations[n_logical] = out
+        return self._logical_expectations[n_logical]
+
+
+class _BatchedDensityRunner:
+    """Groups compiled circuits by structure and simulates each group batched.
+
+    Equivalence contract: every job's result is produced by the same sequence
+    of unitary/Kraus applications that :class:`DensityMatrixSimulator` would
+    perform sample-by-sample — the batch dimension only stacks them.  Noise
+    channels depend on gate arity and qubits (never parameters), so within a
+    structurally aligned group they are derived once per position instead of
+    once per circuit.
+    """
+
+    #: soft cap on (batch * 4**n) elements of one density-matrix stack
+    MAX_STACK_ELEMENTS = 1 << 21
+
+    def __init__(self, device, max_density_qubits: int) -> None:
+        self.device = device
+        self.max_density_qubits = int(max_density_qubits)
+        self._noise_model = None
+        self._jobs: Dict[int, _DensityJob] = {}       # id(compiled) -> job
+        self._pending: "OrderedDict[int, _DensityJob]" = OrderedDict()
+        self.batches_run = 0
+
+    def job_for(self, compiled) -> _DensityJob:
+        """The (deduplicated) job for a compiled circuit."""
+        job = self._jobs.get(id(compiled))
+        if job is None:
+            job = _DensityJob(compiled)
+            self._jobs[id(compiled)] = job
+        return job
+
+    def enqueue(self, job: _DensityJob) -> _DensityJob:
+        self._pending.setdefault(id(job.compiled), job)
+        return job
+
+    def submit(self, compiled) -> _DensityJob:
+        return self.enqueue(self.job_for(compiled))
+
+    # -- execution -----------------------------------------------------------
+
+    def _device_noise_model(self):
+        if self._noise_model is None:
+            self._noise_model = self.device.noise_model()
+        return self._noise_model
+
+    def run(self) -> None:
+        """Simulate all pending jobs, batched by reduced-circuit structure."""
+        groups: "OrderedDict[Tuple, List[_DensityJob]]" = OrderedDict()
+        for job in self._pending.values():
+            if job.rho is not None or job.reduced_probs is not None:
+                continue
+            key = (
+                tuple(job.used_physical),
+                tuple(
+                    (inst.gate, inst.qubits) for inst in job.reduced.instructions
+                ),
+            )
+            groups.setdefault(key, []).append(job)
+        self._pending.clear()
+
+        for (used_physical, _structure), jobs in groups.items():
+            noise_model = self._device_noise_model().reduced(used_physical)
+            n_reduced = jobs[0].n_reduced
+            if n_reduced > self.max_density_qubits:
+                # success-rate (global depolarizing) approximation, exactly as
+                # QuantumBackend falls back for large circuits
+                for job in jobs:
+                    job.noise_model = noise_model
+                    job.reduced_probs = approximate_probabilities(
+                        job.reduced, noise_model
+                    )
+                continue
+            max_batch = max(1, self.MAX_STACK_ELEMENTS // 4**n_reduced)
+            for start in range(0, len(jobs), max_batch):
+                self._run_group(jobs[start: start + max_batch], noise_model)
+
+    def _run_group(self, jobs: Sequence[_DensityJob], noise_model) -> None:
+        self.batches_run += 1
+        n = jobs[0].n_reduced
+        rhos = zero_density_matrices(n, len(jobs))
+        n_instructions = len(jobs[0].reduced.instructions)
+        for position in range(n_instructions):
+            instructions = [job.reduced.instructions[position] for job in jobs]
+            first = instructions[0]
+            if all(inst.params == first.params for inst in instructions):
+                matrix = first.matrix()
+            else:
+                matrix = np.stack([inst.matrix() for inst in instructions])
+            rhos = apply_unitary_batch(rhos, matrix, first.qubits)
+            for kraus_ops, qubits in noise_model.channels_for(first):
+                rhos = apply_kraus_batch(rhos, kraus_ops, qubits)
+        for index, job in enumerate(jobs):
+            job.noise_model = noise_model
+            job.rho = rhos[index]
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class ExecutionEngine:
+    """Evaluates whole co-search populations through the performance estimator.
+
+    Parameters default to the estimator's :class:`EstimatorConfig` fields
+    (``engine``, ``fusion``, ``max_fused_qubits``, ``transpile_cache_size``),
+    so pipelines only need ``ExecutionEngine(estimator, supercircuit)``.
+    """
+
+    _STRUCTURE_CACHE_SIZE = 256
+
+    def __init__(
+        self,
+        estimator,
+        supercircuit,
+        mode: Optional[str] = None,
+        fusion: Optional[bool] = None,
+        max_fused_qubits: Optional[int] = None,
+        transpile_cache_size: Optional[int] = None,
+    ) -> None:
+        config = estimator.config
+        self.estimator = estimator
+        self.supercircuit = supercircuit
+        self.mode = mode if mode is not None else getattr(config, "engine", "batched")
+        if self.mode not in ("batched", "sequential"):
+            raise ValueError("mode must be 'batched' or 'sequential'")
+        self.fusion = bool(
+            getattr(config, "fusion", True) if fusion is None else fusion
+        )
+        self.max_fused_qubits = int(
+            getattr(config, "max_fused_qubits", 3)
+            if max_fused_qubits is None
+            else max_fused_qubits
+        )
+        self.transpile_cache = TranspileCache(
+            int(
+                getattr(config, "transpile_cache_size", 1024)
+                if transpile_cache_size is None
+                else transpile_cache_size
+            )
+        )
+        self.stats = ExecutionStats()
+        self._qml_structures: "OrderedDict[Tuple, _StructureEntry]" = OrderedDict()
+        self._vqe_structures: "OrderedDict[Tuple, _StructureEntry]" = OrderedDict()
+        self._readouts: Dict[Tuple[int, int], np.ndarray] = {}
+        self._params_snapshot: Optional[bytes] = None
+
+    # -- scorer factories (what the evolution engine consumes) -----------------
+
+    def qml_population_scorer(
+        self, dataset, n_classes: int
+    ) -> Callable[[Sequence], List[float]]:
+        """A population-scoring callable for :meth:`EvolutionEngine.search`."""
+
+        def scorer(candidates: Sequence) -> List[float]:
+            return self.evaluate_qml_population(candidates, dataset, n_classes)
+
+        return scorer
+
+    def vqe_population_scorer(self, molecule) -> Callable[[Sequence], List[float]]:
+        """A population-scoring callable for the VQE co-search."""
+
+        def scorer(candidates: Sequence) -> List[float]:
+            return self.evaluate_vqe_population(candidates, molecule)
+
+        return scorer
+
+    # -- population evaluation: QML ---------------------------------------------
+
+    def evaluate_qml_population(
+        self, candidates: Sequence, dataset, n_classes: int
+    ) -> List[float]:
+        """Predicted validation losses for every candidate (lower is better)."""
+        candidates = list(candidates)
+        if not candidates:
+            return []
+        estimator = self.estimator
+        if self.mode == "sequential":
+            return [
+                self._sequential_qml(candidate, dataset, n_classes)
+                for candidate in candidates
+            ]
+
+        self._maybe_invalidate_structures()
+        n_qubits = self.supercircuit.n_qubits
+        mode = estimator.resolve_mode(n_qubits)
+        if mode == "real_qc":
+            # shot sampling consumes the backend rng stream per candidate, in
+            # population order; batching would reorder the draws
+            self.stats.sequential_fallbacks += len(candidates)
+            return [
+                self._sequential_qml(candidate, dataset, n_classes)
+                for candidate in candidates
+            ]
+
+        estimator.num_queries += len(candidates)
+        self.stats.populations += 1
+        self.stats.candidates += len(candidates)
+        features, labels = estimator.validation_subset(dataset)
+        groups = self._group(candidates, include_encoder=True)
+        self.stats.config_groups += len(groups)
+        scores = [0.0] * len(candidates)
+
+        if mode == "noise_free":
+            for entry, indices in groups:
+                loss = self._qml_noise_free_loss(entry, features, labels, n_classes)
+                for index in indices:
+                    scores[index] = loss
+            return scores
+
+        if mode == "success_rate":
+            optimization_level = estimator.config.optimization_level
+            for entry, indices in groups:
+                loss = self._qml_noise_free_loss(entry, features, labels, n_classes)
+                bound = entry.circuit.bind(entry.weights, features[0])
+                for index in indices:
+                    compiled = self.transpile_cache.get(
+                        bound,
+                        estimator.device,
+                        initial_layout=candidates[index].mapping,
+                        optimization_level=optimization_level,
+                    )
+                    scores[index] = loss / compiled.success_rate()
+            return scores
+
+        # noise_sim: batched density-matrix simulation over every validation
+        # sample of every candidate
+        runner = _BatchedDensityRunner(
+            estimator.device, estimator.config.max_density_qubits
+        )
+        optimization_level = estimator.config.optimization_level
+        jobs_by_candidate: Dict[int, List[_DensityJob]] = {}
+        for entry, indices in groups:
+            bound_rows = [
+                entry.circuit.bind(entry.weights, row) for row in features
+            ]
+            for index in indices:
+                mapping = candidates[index].mapping
+                jobs_by_candidate[index] = [
+                    runner.submit(
+                        self.transpile_cache.get(
+                            bound,
+                            estimator.device,
+                            initial_layout=mapping,
+                            optimization_level=optimization_level,
+                        )
+                    )
+                    for bound in bound_rows
+                ]
+        runner.run()
+        self.stats.density_batches += runner.batches_run
+        self.stats.density_circuits += len(candidates) * len(features)
+        estimator._backend.record_executions(len(candidates) * len(features))
+
+        readout = self._readout_matrix(n_qubits, n_classes)
+        for index, jobs in jobs_by_candidate.items():
+            expectations = np.stack(
+                [job.logical_z_expectations(n_qubits) for job in jobs]
+            )
+            logits = expectations @ readout.T
+            scores[index] = nll_loss(softmax(logits), labels)
+        return scores
+
+    # -- population evaluation: VQE ---------------------------------------------
+
+    def evaluate_vqe_population(self, candidates: Sequence, molecule) -> List[float]:
+        """Predicted measured energies for every candidate (lower is better)."""
+        candidates = list(candidates)
+        if not candidates:
+            return []
+        estimator = self.estimator
+        if self.mode == "sequential":
+            return [
+                self._sequential_vqe(candidate, molecule) for candidate in candidates
+            ]
+
+        self._maybe_invalidate_structures()
+        n_qubits = self.supercircuit.n_qubits
+        mode = estimator.resolve_mode(n_qubits)
+        if mode == "real_qc":
+            self.stats.sequential_fallbacks += len(candidates)
+            return [
+                self._sequential_vqe(candidate, molecule) for candidate in candidates
+            ]
+
+        estimator.num_queries += len(candidates)
+        self.stats.populations += 1
+        self.stats.candidates += len(candidates)
+        hamiltonian = estimator.observable_for(molecule)
+        groups = self._group(candidates, include_encoder=False)
+        self.stats.config_groups += len(groups)
+        scores = [0.0] * len(candidates)
+
+        noise_free: Dict[int, float] = {}
+        for group_index, (entry, indices) in enumerate(groups):
+            states = self._forward_states(entry, features=None, batch=1)
+            noise_free[group_index] = float(
+                expectation_pauli_sum(states, hamiltonian)[0]
+            )
+
+        if mode == "noise_free":
+            for group_index, (entry, indices) in enumerate(groups):
+                for index in indices:
+                    scores[index] = noise_free[group_index]
+            return scores
+
+        optimization_level = estimator.config.optimization_level
+        max_density = estimator.config.max_density_qubits
+        mixed_energy = hamiltonian.constant
+        runner = _BatchedDensityRunner(estimator.device, max_density)
+        density_jobs: List[Tuple[int, _DensityJob]] = []
+
+        for group_index, (entry, indices) in enumerate(groups):
+            energy = noise_free[group_index]
+            bound = entry.circuit.bind(entry.weights)
+            for index in indices:
+                compiled = self.transpile_cache.get(
+                    bound,
+                    estimator.device,
+                    initial_layout=candidates[index].mapping,
+                    optimization_level=optimization_level,
+                )
+                if mode == "success_rate":
+                    rate = compiled.success_rate()
+                    scores[index] = rate * energy + (1.0 - rate) * mixed_energy
+                    continue
+                # noise_sim
+                job = runner.job_for(compiled)
+                if job.n_reduced > max_density:
+                    rate = compiled.success_rate()
+                    scores[index] = rate * energy + (1.0 - rate) * mixed_energy
+                else:
+                    runner.enqueue(job)
+                    density_jobs.append((index, job))
+
+        if density_jobs:
+            runner.run()
+            self.stats.density_batches += runner.batches_run
+            self.stats.density_circuits += len(density_jobs)
+            # unlike the QML path, the sequential VQE estimator simulates
+            # density matrices itself without charging the backend, so no
+            # record_executions here — the #QC-runs metric must match
+            remapped_cache: Dict[int, object] = {}
+            for index, job in density_jobs:
+                key = id(job)
+                if key not in remapped_cache:
+                    remapped_cache[key] = estimator.remap_hamiltonian(
+                        hamiltonian, job.compiled, job.used_physical
+                    )
+                scores[index] = expectation_pauli_sum_dm(
+                    job.rho, remapped_cache[key]
+                )
+        return scores
+
+    # -- noisy expectations (public so tests can pin the batched path) ----------
+
+    def noisy_expectations(
+        self,
+        circuit: ParameterizedCircuit,
+        weights: np.ndarray,
+        mapping,
+        features: np.ndarray,
+    ) -> np.ndarray:
+        """Per-sample logical Z expectations under the device noise model.
+
+        Matches ``QuantumBackend.run(circuit.bind(weights, row), ...)`` with
+        ``shots=0``, sample by sample, but runs every sample through one
+        batched density-matrix evolution.
+        """
+        estimator = self.estimator
+        runner = _BatchedDensityRunner(
+            estimator.device, estimator.config.max_density_qubits
+        )
+        jobs = []
+        for row in np.atleast_2d(features):
+            bound = circuit.bind(weights, row)
+            compiled = self.transpile_cache.get(
+                bound,
+                estimator.device,
+                initial_layout=mapping,
+                optimization_level=estimator.config.optimization_level,
+            )
+            jobs.append(runner.submit(compiled))
+        runner.run()
+        return np.stack(
+            [job.logical_z_expectations(circuit.n_qubits) for job in jobs]
+        )
+
+    # -- sequential reference paths ---------------------------------------------
+
+    def _sequential_qml(self, candidate, dataset, n_classes: int) -> float:
+        circuit, _ = self.supercircuit.build_standalone_circuit(candidate.config)
+        weights = self.supercircuit.inherited_weights(candidate.config)
+        return self.estimator.estimate_qml(
+            circuit, weights, dataset, n_classes, layout=candidate.mapping
+        )
+
+    def _sequential_vqe(self, candidate, molecule) -> float:
+        circuit, _ = self.supercircuit.build_standalone_circuit(
+            candidate.config, include_encoder=False
+        )
+        weights = self.supercircuit.inherited_weights(candidate.config)
+        return self.estimator.estimate_vqe(
+            circuit, weights, molecule, layout=candidate.mapping
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _maybe_invalidate_structures(self) -> None:
+        """Drop cached circuits when the SuperCircuit parameters change."""
+        snapshot = self.supercircuit.parameters.tobytes()
+        if snapshot != self._params_snapshot:
+            self._qml_structures.clear()
+            self._vqe_structures.clear()
+            self._params_snapshot = snapshot
+
+    def _group(
+        self, candidates: Sequence, include_encoder: bool
+    ) -> List[Tuple[_StructureEntry, List[int]]]:
+        """Group candidate indices by SubCircuit genome, building each once."""
+        cache = self._qml_structures if include_encoder else self._vqe_structures
+        groups: "OrderedDict[Tuple, Tuple[_StructureEntry, List[int]]]" = OrderedDict()
+        for index, candidate in enumerate(candidates):
+            key = tuple(candidate.config.as_gene())
+            bucket = groups.get(key)
+            if bucket is None:
+                entry = cache.get(key)
+                if entry is None:
+                    circuit, weight_map = self.supercircuit.build_standalone_circuit(
+                        candidate.config, include_encoder=include_encoder
+                    )
+                    weights = self.supercircuit.parameters[weight_map].copy()
+                    entry = _StructureEntry(circuit, weights)
+                    cache[key] = entry
+                    if len(cache) > self._STRUCTURE_CACHE_SIZE:
+                        cache.popitem(last=False)
+                else:
+                    cache.move_to_end(key)
+                bucket = (entry, [])
+                groups[key] = bucket
+            bucket[1].append(index)
+        return list(groups.values())
+
+    def _readout_matrix(self, n_qubits: int, n_classes: int) -> np.ndarray:
+        key = (n_qubits, n_classes)
+        if key not in self._readouts:
+            self._readouts[key] = readout_matrix(n_qubits, n_classes)
+        return self._readouts[key]
+
+    def _qml_noise_free_loss(
+        self,
+        entry: _StructureEntry,
+        features: np.ndarray,
+        labels: np.ndarray,
+        n_classes: int,
+    ) -> float:
+        states = self._forward_states(entry, features=features)
+        expectations = expectation_z_all(states)
+        logits = expectations @ self._readout_matrix(
+            entry.circuit.n_qubits, n_classes
+        ).T
+        return nll_loss(softmax(logits), labels)
+
+    # -- fused forward pass -------------------------------------------------------
+
+    def _fusion_plan(self, entry: _StructureEntry) -> List[Tuple[str, object]]:
+        """Fuse concrete (weight/const) segments; keep encoder ops dynamic."""
+        if entry.fusion_plan is not None:
+            return entry.fusion_plan
+        circuit, weights = entry.circuit, entry.weights
+        plan: List[Tuple[str, object]] = []
+        segment: List[Instruction] = []
+
+        def flush() -> None:
+            if not segment:
+                return
+            concrete = QuantumCircuit(circuit.n_qubits, list(segment))
+            for block in fuse_circuit(concrete, self.max_fused_qubits):
+                plan.append(("fused", block))
+            self.stats.fused_segments += 1
+            segment.clear()
+
+        for op in circuit.ops:
+            if op.uses_input:
+                flush()
+                plan.append(("dynamic", op))
+            else:
+                params = circuit.resolve_params(op, weights)
+                segment.append(Instruction(op.gate, op.qubits, tuple(params)))
+        flush()
+        entry.fusion_plan = plan
+        return plan
+
+    def _forward_states(
+        self,
+        entry: _StructureEntry,
+        features: Optional[np.ndarray] = None,
+        batch: int = 1,
+    ) -> np.ndarray:
+        """Statevector forward pass with static-mode fusion when enabled."""
+        circuit, weights = entry.circuit, entry.weights
+        if features is not None:
+            features = np.asarray(features, dtype=float)
+            if features.ndim == 1:
+                features = features[None, :]
+            batch = features.shape[0]
+        if not self.fusion:
+            from ..quantum.statevector import run_parameterized
+
+            return run_parameterized(circuit, weights, features, batch=batch)
+        states = zero_state(circuit.n_qubits, batch)
+        for kind, payload in self._fusion_plan(entry):
+            if kind == "fused":
+                states = apply_matrix(states, payload.matrix, payload.qubits)
+            else:
+                params = circuit.resolve_params(payload, weights, features)
+                states = apply_matrix(
+                    states, op_matrix(payload.gate, params), payload.qubits
+                )
+        return states

@@ -18,9 +18,13 @@ from .operators import PauliSum
 
 __all__ = [
     "zero_density_matrix",
+    "zero_density_matrices",
     "apply_unitary",
+    "apply_unitary_batch",
     "apply_kraus",
+    "apply_kraus_batch",
     "density_probabilities",
+    "density_probabilities_batch",
     "expectation_pauli_sum_dm",
     "expectation_z_all_dm",
     "purity",
@@ -91,6 +95,115 @@ def apply_kraus(
     axes = [q for q in qubits] + [n + q for q in qubits]
     moved = np.tensordot(reshaped, rho, axes=(list(range(2 * k, 4 * k)), axes))
     return np.moveaxis(moved, list(range(2 * k)), axes)
+
+
+# ---------------------------------------------------------------------------
+# Batched density matrices
+#
+# Batched density matrices are stored as tensors of shape
+# ``(batch,) + (2,) * 2n`` so a stack of noisy circuits that share their gate
+# *structure* (same gate names and qubits at every position, possibly with
+# per-sample parameters) evolves through one sequence of contractions.  This
+# is the density-matrix analogue of the batched statevector layout and is the
+# hot loop of the population execution engine's ``noise_sim`` mode.
+# ---------------------------------------------------------------------------
+
+
+def zero_density_matrices(n_qubits: int, batch: int = 1) -> np.ndarray:
+    """``|0..0><0..0|`` replicated ``batch`` times, shape ``(batch,) + (2,)*2n``."""
+    rhos = np.zeros((batch,) + (2,) * (2 * n_qubits), dtype=complex)
+    rhos[(slice(None),) + (0,) * (2 * n_qubits)] = 1.0
+    return rhos
+
+
+def _apply_side_batch(
+    rhos: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], side: str
+) -> np.ndarray:
+    """Apply ``matrix`` to the ket (``side="left"``) or bra axes of a batch.
+
+    ``matrix`` is either ``(2**k, 2**k)`` (shared across the batch) or
+    ``(batch, 2**k, 2**k)`` (per-sample parameters).
+    """
+    n = (rhos.ndim - 1) // 2
+    k = len(qubits)
+    dim = 2**k
+    if side == "left":
+        axes = [1 + q for q in qubits]
+    else:
+        matrix = matrix.conj()
+        axes = [1 + n + q for q in qubits]
+
+    if matrix.ndim == 2:
+        reshaped = matrix.reshape((2,) * (2 * k))
+        moved = np.tensordot(reshaped, rhos, axes=(list(range(k, 2 * k)), axes))
+        return np.moveaxis(moved, list(range(k)), axes)
+
+    if matrix.ndim != 3:
+        raise ValueError("matrix must have 2 or 3 dimensions")
+    batch = rhos.shape[0]
+    if matrix.shape[0] != batch:
+        raise ValueError("batched matrix leading dimension must equal the batch size")
+    moved = np.moveaxis(rhos, axes, list(range(1, 1 + k)))
+    tail_shape = moved.shape[1 + k:]
+    flat = moved.reshape(batch, dim, -1)
+    out = np.einsum("bij,bjr->bir", matrix, flat)
+    out = out.reshape((batch,) + (2,) * k + tail_shape)
+    return np.moveaxis(out, list(range(1, 1 + k)), axes)
+
+
+def apply_unitary_batch(
+    rhos: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]
+) -> np.ndarray:
+    """``U rho U†`` on every density matrix of a batch.
+
+    ``matrix`` may be shared (2-D) or per-sample (3-D); the latter carries the
+    per-sample gate parameters of structurally aligned circuits.
+    """
+    return _apply_side_batch(
+        _apply_side_batch(rhos, matrix, qubits, "left"), matrix, qubits, "right"
+    )
+
+
+def apply_kraus_batch(
+    rhos: np.ndarray, kraus_operators: Sequence[np.ndarray], qubits: Sequence[int]
+) -> np.ndarray:
+    """``sum_i K_i rho K_i†`` on every density matrix of a batch.
+
+    The Kraus operators are shared across the batch (noise channels depend on
+    the gate's qubits, never on its parameters).  Like :func:`apply_kraus`,
+    channels with many operators go through the precomputed superoperator.
+    """
+    n = (rhos.ndim - 1) // 2
+    if len(kraus_operators) <= 2:
+        out = np.zeros_like(rhos)
+        for kraus in kraus_operators:
+            out = out + _apply_side_batch(
+                _apply_side_batch(rhos, kraus, qubits, "left"), kraus, qubits, "right"
+            )
+        return out
+    k = len(qubits)
+    superop = kraus_to_superoperator(kraus_operators)
+    reshaped = superop.reshape((2,) * (4 * k))
+    axes = [1 + q for q in qubits] + [1 + n + q for q in qubits]
+    moved = np.tensordot(reshaped, rhos, axes=(list(range(2 * k, 4 * k)), axes))
+    return np.moveaxis(moved, list(range(2 * k)), axes)
+
+
+def density_probabilities_batch(rhos: np.ndarray) -> np.ndarray:
+    """Per-sample computational-basis probabilities, shape ``(batch, 2**n)``.
+
+    Matches :func:`density_probabilities` applied to every batch entry
+    (diagonal, clipped to be non-negative, renormalized).
+    """
+    batch = rhos.shape[0]
+    n = (rhos.ndim - 1) // 2
+    dim = 2**n
+    matrices = rhos.reshape(batch, dim, dim)
+    probs = np.real(np.einsum("bii->bi", matrices)).copy()
+    probs = np.clip(probs, 0.0, None)
+    totals = probs.sum(axis=1, keepdims=True)
+    safe = np.where(totals > 0, totals, 1.0)
+    return probs / safe
 
 
 def density_probabilities(rho: np.ndarray) -> np.ndarray:

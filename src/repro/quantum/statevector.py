@@ -21,6 +21,7 @@ __all__ = [
     "zero_state",
     "apply_matrix",
     "apply_pauli",
+    "op_matrix",
     "run_circuit",
     "run_parameterized",
     "circuit_unitary",
@@ -108,11 +109,15 @@ def resolved_operations(
         yield op.gate, op.qubits, pcirc.resolve_params(op, weights, features)
 
 
-def _op_matrix(gate: str, params: np.ndarray) -> np.ndarray:
+def op_matrix(gate: str, params: np.ndarray) -> np.ndarray:
     """Matrix for resolved parameters, batched if ``params`` is 2-D."""
     if params.ndim == 2:
         return np.stack([gate_matrix(gate, row) for row in params])
     return gate_matrix(gate, params)
+
+
+# backwards-compatible alias
+_op_matrix = op_matrix
 
 
 def run_parameterized(

@@ -50,13 +50,26 @@ class VQEResult:
 class VQEModel:
     """A variational eigensolver for one molecule with a given ansatz."""
 
-    def __init__(self, ansatz: ParameterizedCircuit, molecule: Molecule) -> None:
+    def __init__(
+        self,
+        ansatz: ParameterizedCircuit,
+        molecule: Molecule,
+        measurement_plan: Optional[MeasurementPlan] = None,
+    ) -> None:
         if ansatz.n_qubits < molecule.n_qubits:
             raise ValueError("ansatz has fewer qubits than the molecule requires")
         self.ansatz = ansatz
         self.molecule = molecule
-        self.hamiltonian: PauliSum = molecule.hamiltonian
-        self.measurement_plan = MeasurementPlan(self.hamiltonian, ansatz.n_qubits)
+        if measurement_plan is not None:
+            # A hoisted plan (e.g. the estimator's per-task cache) avoids
+            # re-deriving the commuting-group decomposition per candidate.
+            if measurement_plan.n_qubits != ansatz.n_qubits:
+                raise ValueError("measurement plan does not match the ansatz size")
+            self.hamiltonian: PauliSum = measurement_plan.observable
+            self.measurement_plan = measurement_plan
+        else:
+            self.hamiltonian = molecule.hamiltonian
+            self.measurement_plan = MeasurementPlan(self.hamiltonian, ansatz.n_qubits)
 
     @property
     def num_weights(self) -> int:

@@ -1,0 +1,185 @@
+"""Equivalence of the batched execution engine and the sequential estimator.
+
+The batched engine is only allowed to *reorganize* work, never to change the
+numbers: expectations, losses and evolution rankings must agree with the
+per-candidate seed path to 1e-9 in both estimator modes the co-search uses
+(``noise_sim`` and ``success_rate``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig, EvolutionEngine, SuperCircuit, get_design_space
+from repro.core.estimator import EstimatorConfig, PerformanceEstimator
+from repro.core.evolution import Candidate
+from repro.devices import QuantumBackend
+from repro.execution import ExecutionEngine
+from repro.vqe.molecules import load_molecule
+
+ATOL = 1e-9
+
+
+def make_population(space, n_qubits, device, seed, size):
+    """A seeded population with genome and (genome, mapping) duplicates."""
+    evolution = EvolutionEngine(space, n_qubits, device, EvolutionConfig(seed=seed))
+    candidates = [evolution.random_candidate() for _ in range(size)]
+    # same genome, different mapping — exercises genome grouping
+    candidates.append(Candidate(candidates[0].config, evolution.random_mapping()))
+    # exact duplicate — exercises transpile/job deduplication
+    candidates.append(candidates[1])
+    return candidates
+
+
+def engines_for(device, supercircuit, mode, n_valid_samples):
+    sequential = ExecutionEngine(
+        PerformanceEstimator(
+            device,
+            EstimatorConfig(
+                mode=mode, n_valid_samples=n_valid_samples, engine="sequential"
+            ),
+        ),
+        supercircuit,
+    )
+    batched = ExecutionEngine(
+        PerformanceEstimator(
+            device,
+            EstimatorConfig(
+                mode=mode, n_valid_samples=n_valid_samples, engine="batched"
+            ),
+        ),
+        supercircuit,
+    )
+    return sequential, batched
+
+
+@pytest.mark.parametrize("mode,n_valid", [("success_rate", 8), ("noise_sim", 3)])
+def test_qml_population_losses_match(u3cu3_supercircuit, yorktown, tiny_dataset,
+                                     mode, n_valid):
+    space = get_design_space("u3cu3")
+    size = 4 if mode == "noise_sim" else 6
+    candidates = make_population(space, 4, yorktown, seed=11, size=size)
+    sequential, batched = engines_for(yorktown, u3cu3_supercircuit, mode, n_valid)
+
+    seq = sequential.evaluate_qml_population(candidates, tiny_dataset, 4)
+    bat = batched.evaluate_qml_population(candidates, tiny_dataset, 4)
+
+    np.testing.assert_allclose(bat, seq, rtol=0, atol=ATOL)
+    # duplicated candidates must receive identical scores
+    assert bat[1] == bat[-1]
+
+
+@pytest.mark.parametrize("fusion", [True, False])
+def test_qml_losses_match_with_and_without_fusion(u3cu3_supercircuit, yorktown,
+                                                  tiny_dataset, fusion):
+    space = get_design_space("u3cu3")
+    candidates = make_population(space, 4, yorktown, seed=23, size=4)
+    estimator = PerformanceEstimator(
+        yorktown, EstimatorConfig(mode="success_rate", n_valid_samples=8)
+    )
+    batched = ExecutionEngine(estimator, u3cu3_supercircuit, fusion=fusion)
+    sequential, _ = engines_for(yorktown, u3cu3_supercircuit, "success_rate", 8)
+
+    seq = sequential.evaluate_qml_population(candidates, tiny_dataset, 4)
+    bat = batched.evaluate_qml_population(candidates, tiny_dataset, 4)
+    np.testing.assert_allclose(bat, seq, rtol=0, atol=ATOL)
+
+
+def test_noisy_expectations_match_backend(u3cu3_supercircuit, yorktown,
+                                          tiny_dataset):
+    """The batched density-matrix path pins against per-sample backend runs."""
+    space = get_design_space("u3cu3")
+    candidate = make_population(space, 4, yorktown, seed=5, size=1)[0]
+    circuit, _ = u3cu3_supercircuit.build_standalone_circuit(candidate.config)
+    weights = u3cu3_supercircuit.inherited_weights(candidate.config)
+    features = tiny_dataset.x_valid[:3]
+
+    estimator = PerformanceEstimator(yorktown, EstimatorConfig(mode="noise_sim"))
+    engine = ExecutionEngine(estimator, u3cu3_supercircuit)
+    batched = engine.noisy_expectations(circuit, weights, candidate.mapping, features)
+
+    backend = QuantumBackend(yorktown, shots=0, seed=0)
+    for row, expect in zip(features, batched):
+        result = backend.run(
+            circuit.bind(weights, row), initial_layout=candidate.mapping, shots=0
+        )
+        np.testing.assert_allclose(expect, result.expectation_z_all(),
+                                   rtol=0, atol=ATOL)
+
+
+@pytest.mark.parametrize("mode", ["success_rate", "noise_sim"])
+def test_vqe_population_energies_match(yorktown, mode):
+    molecule = load_molecule("h2")
+    space = get_design_space("u3cu3")
+    supercircuit = SuperCircuit(space, molecule.n_qubits, encoder=None, seed=3)
+    candidates = make_population(space, molecule.n_qubits, yorktown, seed=7, size=5)
+    sequential, batched = engines_for(yorktown, supercircuit, mode, 8)
+
+    seq = sequential.evaluate_vqe_population(candidates, molecule)
+    bat = batched.evaluate_vqe_population(candidates, molecule)
+    np.testing.assert_allclose(bat, seq, rtol=0, atol=ATOL)
+
+
+@pytest.mark.parametrize("mode,n_valid,population", [
+    ("success_rate", 6, 8),
+    ("noise_sim", 2, 6),
+])
+def test_evolution_rankings_match(u3cu3_supercircuit, yorktown, tiny_dataset,
+                                  mode, n_valid, population):
+    """Seeded searches driven by either engine visit identical populations
+    and produce identical rankings, best genes and history curves."""
+    space = get_design_space("u3cu3")
+    evolution_config = EvolutionConfig(
+        iterations=2, population_size=population, parent_size=3,
+        mutation_size=max(2, population - 5), crossover_size=2, seed=9,
+    )
+    results = {}
+    for engine_mode in ("sequential", "batched"):
+        estimator = PerformanceEstimator(
+            yorktown,
+            EstimatorConfig(mode=mode, n_valid_samples=n_valid, engine=engine_mode),
+        )
+        execution = ExecutionEngine(estimator, u3cu3_supercircuit)
+        evolution = EvolutionEngine(space, 4, yorktown, evolution_config)
+        results[engine_mode] = evolution.search(
+            population_score_fn=execution.qml_population_scorer(tiny_dataset, 4)
+        )
+
+    sequential, batched = results["sequential"], results["batched"]
+    assert batched.best.gene() == sequential.best.gene()
+    assert batched.evaluated == sequential.evaluated
+    assert batched.best_score == pytest.approx(sequential.best_score, abs=ATOL)
+    for row_b, row_s in zip(batched.history, sequential.history):
+        for key in ("best_score", "population_best", "population_mean"):
+            assert row_b[key] == pytest.approx(row_s[key], abs=ATOL)
+
+
+def test_sequential_engine_matches_seed_score_closure(u3cu3_supercircuit, yorktown,
+                                                      tiny_dataset):
+    """engine="sequential" reproduces the original per-candidate closure
+    bit-for-bit (same builds, same estimator calls, same query count)."""
+    space = get_design_space("u3cu3")
+    candidates = make_population(space, 4, yorktown, seed=2, size=4)
+
+    estimator = PerformanceEstimator(
+        yorktown, EstimatorConfig(mode="success_rate", n_valid_samples=8,
+                                  engine="sequential")
+    )
+    engine = ExecutionEngine(estimator, u3cu3_supercircuit)
+    via_engine = engine.evaluate_qml_population(candidates, tiny_dataset, 4)
+
+    reference_estimator = PerformanceEstimator(
+        yorktown, EstimatorConfig(mode="success_rate", n_valid_samples=8)
+    )
+    reference = []
+    for candidate in candidates:
+        circuit, _ = u3cu3_supercircuit.build_standalone_circuit(candidate.config)
+        weights = u3cu3_supercircuit.inherited_weights(candidate.config)
+        reference.append(
+            reference_estimator.estimate_qml(
+                circuit, weights, tiny_dataset, 4, layout=candidate.mapping
+            )
+        )
+    assert via_engine == reference
+    assert estimator.num_queries == reference_estimator.num_queries

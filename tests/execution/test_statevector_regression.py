@@ -1,0 +1,135 @@
+"""Regression pins for the simulator stack: every execution path against
+``circuit_unitary``.
+
+Future refactors of the statevector/fusion engines (sharding, new layouts,
+alternative backends) must keep these invariants: for random 2–6 qubit
+circuits, ``run_circuit``, ``run_parameterized`` and the fused (static-mode)
+runner all agree with the dense unitary of the same circuit to 1e-9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quantum.circuit import ParameterizedCircuit, QuantumCircuit
+from repro.quantum.fusion import FusedCircuit
+from repro.quantum.statevector import (
+    circuit_unitary,
+    run_circuit,
+    run_parameterized,
+    zero_state,
+)
+
+ATOL = 1e-9
+
+ONE_QUBIT_GATES = ["h", "x", "sx", "rx", "ry", "rz", "u3", "t", "s"]
+TWO_QUBIT_GATES = ["cx", "cz", "rzz", "cry", "swap", "cu3"]
+PARAM_COUNTS = {"rx": 1, "ry": 1, "rz": 1, "u3": 3, "rzz": 1, "cry": 1, "cu3": 3}
+
+
+def random_circuit(n_qubits: int, n_gates: int, rng: np.random.Generator):
+    circuit = QuantumCircuit(n_qubits)
+    for _ in range(n_gates):
+        if n_qubits >= 2 and rng.random() < 0.4:
+            gate = TWO_QUBIT_GATES[int(rng.integers(len(TWO_QUBIT_GATES)))]
+            qubits = rng.permutation(n_qubits)[:2]
+        else:
+            gate = ONE_QUBIT_GATES[int(rng.integers(len(ONE_QUBIT_GATES)))]
+            qubits = rng.permutation(n_qubits)[:1]
+        params = rng.uniform(-np.pi, np.pi, size=PARAM_COUNTS.get(gate, 0))
+        circuit.add(gate, tuple(int(q) for q in qubits), tuple(params))
+    return circuit
+
+
+def random_parameterized(n_qubits: int, n_gates: int, n_features: int,
+                         rng: np.random.Generator) -> ParameterizedCircuit:
+    pcirc = ParameterizedCircuit(n_qubits)
+    for index in range(n_gates):
+        qubit = int(rng.integers(n_qubits))
+        if index % 4 == 0:
+            pcirc.add_encoder("ry", (qubit,), (int(rng.integers(n_features)),))
+        elif index % 4 == 1 and n_qubits >= 2:
+            other = (qubit + 1 + int(rng.integers(n_qubits - 1))) % n_qubits
+            pcirc.add_trainable("cry", (qubit, other))
+        else:
+            pcirc.add_trainable("u3", (qubit,))
+    return pcirc
+
+
+@pytest.mark.parametrize("n_qubits", [2, 3, 4, 5, 6])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_run_circuit_matches_unitary(n_qubits, seed):
+    rng = np.random.default_rng(100 * n_qubits + seed)
+    circuit = random_circuit(n_qubits, n_gates=4 * n_qubits, rng=rng)
+    unitary = circuit_unitary(circuit)
+    state = run_circuit(circuit).reshape(-1)
+    np.testing.assert_allclose(state, unitary[:, 0], rtol=0, atol=ATOL)
+    # also from a random initial state
+    dim = 2**n_qubits
+    vec = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    vec /= np.linalg.norm(vec)
+    evolved = run_circuit(
+        circuit, states=vec.reshape((1,) + (2,) * n_qubits)
+    ).reshape(-1)
+    np.testing.assert_allclose(evolved, unitary @ vec, rtol=0, atol=ATOL)
+
+
+@pytest.mark.parametrize("n_qubits", [2, 3, 4, 5, 6])
+@pytest.mark.parametrize("max_fused", [2, 3])
+def test_fused_circuit_matches_unitary(n_qubits, max_fused):
+    rng = np.random.default_rng(7 * n_qubits + max_fused)
+    circuit = random_circuit(n_qubits, n_gates=5 * n_qubits, rng=rng)
+    unitary = circuit_unitary(circuit)
+    fused = FusedCircuit.from_circuit(circuit, max_fused_qubits=max_fused)
+    state = fused.run(batch=1).reshape(-1)
+    np.testing.assert_allclose(state, unitary[:, 0], rtol=0, atol=ATOL)
+    # fusion must not change the unfused reference either
+    unfused = run_circuit(circuit).reshape(-1)
+    np.testing.assert_allclose(state, unfused, rtol=0, atol=ATOL)
+
+
+@pytest.mark.parametrize("n_qubits", [2, 4, 6])
+def test_run_parameterized_matches_per_sample_unitaries(n_qubits):
+    rng = np.random.default_rng(13 * n_qubits)
+    n_features = 4
+    pcirc = random_parameterized(n_qubits, n_gates=3 * n_qubits,
+                                 n_features=n_features, rng=rng)
+    weights = pcirc.init_weights(rng)
+    features = rng.uniform(-1.0, 1.0, size=(3, n_features))
+
+    states = run_parameterized(pcirc, weights, features)
+    assert states.shape == (3,) + (2,) * n_qubits
+    for row, state in zip(features, states):
+        bound = pcirc.bind(weights, row)
+        unitary = circuit_unitary(bound)
+        np.testing.assert_allclose(state.reshape(-1), unitary[:, 0],
+                                   rtol=0, atol=ATOL)
+
+
+@pytest.mark.parametrize("n_qubits", [2, 4, 6])
+def test_fused_bound_parameterized_matches_unitary(n_qubits):
+    """Static-mode execution of a bound template stays on the dynamic result."""
+    rng = np.random.default_rng(17 * n_qubits)
+    pcirc = random_parameterized(n_qubits, n_gates=3 * n_qubits,
+                                 n_features=4, rng=rng)
+    weights = pcirc.init_weights(rng)
+    row = rng.uniform(-1.0, 1.0, size=4)
+    bound = pcirc.bind(weights, row)
+    unitary = circuit_unitary(bound)
+    for max_fused in (2, 3):
+        fused = FusedCircuit.from_circuit(bound, max_fused_qubits=max_fused)
+        state = fused.run(batch=1).reshape(-1)
+        np.testing.assert_allclose(state, unitary[:, 0], rtol=0, atol=ATOL)
+
+
+def test_fused_circuit_batched_run_matches_loop():
+    rng = np.random.default_rng(99)
+    circuit = random_circuit(3, n_gates=12, rng=rng)
+    fused = FusedCircuit.from_circuit(circuit, max_fused_qubits=2)
+    batch = 5
+    states = zero_state(3, batch)
+    out = fused.run(states=states.copy(), batch=batch)
+    single = fused.run(batch=1)
+    for index in range(batch):
+        np.testing.assert_allclose(out[index], single[0], rtol=0, atol=ATOL)

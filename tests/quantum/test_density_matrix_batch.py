@@ -1,0 +1,121 @@
+"""Batched density-matrix primitives against their single-sample references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noise.channels import (
+    amplitude_damping_kraus,
+    depolarizing_kraus,
+    thermal_relaxation_kraus,
+)
+from repro.quantum.density_matrix import (
+    apply_kraus,
+    apply_kraus_batch,
+    apply_unitary,
+    apply_unitary_batch,
+    density_probabilities,
+    density_probabilities_batch,
+    zero_density_matrices,
+    zero_density_matrix,
+)
+from repro.quantum.gates import gate_matrix
+
+ATOL = 1e-12
+
+
+def random_density_stack(n_qubits: int, batch: int, rng: np.random.Generator):
+    """A stack of valid (PSD, trace-one) density matrices."""
+    dim = 2**n_qubits
+    rhos = np.empty((batch,) + (2,) * (2 * n_qubits), dtype=complex)
+    for index in range(batch):
+        mat = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+        rho = mat @ mat.conj().T
+        rho /= np.trace(rho)
+        rhos[index] = rho.reshape((2,) * (2 * n_qubits))
+    return rhos
+
+
+def test_zero_density_matrices_matches_single():
+    batch = zero_density_matrices(3, batch=4)
+    single = zero_density_matrix(3)
+    assert batch.shape == (4,) + (2,) * 6
+    for index in range(4):
+        np.testing.assert_array_equal(batch[index], single)
+
+
+@pytest.mark.parametrize("n_qubits,qubits", [(2, (0,)), (3, (2,)), (3, (0, 2)),
+                                             (4, (3, 1))])
+def test_apply_unitary_batch_shared_matrix(n_qubits, qubits):
+    rng = np.random.default_rng(21)
+    rhos = random_density_stack(n_qubits, 5, rng)
+    gate = "u3" if len(qubits) == 1 else "cu3"
+    matrix = gate_matrix(gate, rng.uniform(-np.pi, np.pi, size=3))
+
+    batched = apply_unitary_batch(rhos, matrix, qubits)
+    for index in range(rhos.shape[0]):
+        expected = apply_unitary(rhos[index], matrix, qubits)
+        np.testing.assert_allclose(batched[index], expected, rtol=0, atol=ATOL)
+
+
+@pytest.mark.parametrize("n_qubits,qubits", [(2, (1,)), (3, (0, 2))])
+def test_apply_unitary_batch_per_sample_matrices(n_qubits, qubits):
+    rng = np.random.default_rng(33)
+    batch = 4
+    rhos = random_density_stack(n_qubits, batch, rng)
+    gate = "u3" if len(qubits) == 1 else "cu3"
+    matrices = np.stack([
+        gate_matrix(gate, rng.uniform(-np.pi, np.pi, size=3))
+        for _ in range(batch)
+    ])
+
+    batched = apply_unitary_batch(rhos, matrices, qubits)
+    for index in range(batch):
+        expected = apply_unitary(rhos[index], matrices[index], qubits)
+        np.testing.assert_allclose(batched[index], expected, rtol=0, atol=ATOL)
+
+
+@pytest.mark.parametrize("kraus_factory", [
+    lambda: amplitude_damping_kraus(0.13),                    # 2 operators
+    lambda: thermal_relaxation_kraus(50e3, 70e3, 300.0),      # few operators
+    lambda: depolarizing_kraus(0.05, 1),                      # 4 operators
+])
+def test_apply_kraus_batch_single_qubit(kraus_factory):
+    rng = np.random.default_rng(55)
+    rhos = random_density_stack(3, 4, rng)
+    kraus_ops = kraus_factory()
+    batched = apply_kraus_batch(rhos, kraus_ops, (1,))
+    for index in range(rhos.shape[0]):
+        expected = apply_kraus(rhos[index], kraus_ops, (1,))
+        np.testing.assert_allclose(batched[index], expected, rtol=0, atol=ATOL)
+
+
+def test_apply_kraus_batch_two_qubit_depolarizing():
+    rng = np.random.default_rng(77)
+    rhos = random_density_stack(3, 3, rng)
+    kraus_ops = depolarizing_kraus(0.08, 2)   # 16 operators -> superoperator path
+    batched = apply_kraus_batch(rhos, kraus_ops, (0, 2))
+    for index in range(rhos.shape[0]):
+        expected = apply_kraus(rhos[index], kraus_ops, (0, 2))
+        np.testing.assert_allclose(batched[index], expected, rtol=0, atol=ATOL)
+
+
+def test_density_probabilities_batch_matches_loop():
+    rng = np.random.default_rng(88)
+    rhos = random_density_stack(3, 6, rng)
+    batched = density_probabilities_batch(rhos)
+    assert batched.shape == (6, 8)
+    for index in range(6):
+        np.testing.assert_allclose(
+            batched[index], density_probabilities(rhos[index]), rtol=0, atol=ATOL
+        )
+    np.testing.assert_allclose(batched.sum(axis=1), 1.0, rtol=0, atol=1e-12)
+
+
+def test_apply_unitary_batch_rejects_wrong_batch_dimension():
+    rng = np.random.default_rng(3)
+    rhos = random_density_stack(2, 3, rng)
+    matrices = np.stack([gate_matrix("x") for _ in range(2)])  # wrong batch
+    with pytest.raises(ValueError):
+        apply_unitary_batch(rhos, matrices, (0,))
