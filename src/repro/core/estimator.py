@@ -52,6 +52,10 @@ class EstimatorConfig:
     fusion: bool = True              # gate-fuse concrete segments of the hot loop
     max_fused_qubits: int = 3
     transpile_cache_size: int = 1024
+    #: compile each (genome, mapping) structure once and re-bind angles per
+    #: sample (repro.transpile.parametric); False replays the exact PR-2
+    #: bound-circuit cache path.  Only affects the batched engine.
+    parametric_transpile: bool = True
 
     def __post_init__(self) -> None:
         valid = ("auto", "noise_sim", "success_rate", "noise_free", "real_qc")
@@ -82,6 +86,18 @@ class PerformanceEstimator:
         # may otherwise reuse after garbage collection.
         self._observables: Dict[int, Tuple[Molecule, PauliSum]] = {}
         self._measurement_plans: Dict[Tuple[int, int], Tuple[Molecule, "MeasurementPlan"]] = {}
+        # Transpile caches live on the estimator (not on each ExecutionEngine)
+        # so they persist across co-search restarts, across engines created
+        # from the same estimator, and into the deploy/evaluate stage — the
+        # ROADMAP's warm-start item.  Imported lazily to keep repro.core free
+        # of an import-time dependency on repro.execution.
+        from ..execution.cache import ParametricTranspileCache, TranspileCache
+
+        self.transpile_cache = TranspileCache(self.config.transpile_cache_size)
+        self.parametric_transpile_cache = ParametricTranspileCache(
+            bound_maxsize=self.config.transpile_cache_size,
+            fallback=self.transpile_cache,
+        )
 
     # -- mode resolution ---------------------------------------------------------
 

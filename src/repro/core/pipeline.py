@@ -112,6 +112,11 @@ class QuantumNASQMLPipeline:
         self.supercircuit = SuperCircuit(
             space, self.n_qubits, encoder=encoder, seed=self.config.seed
         )
+        # One estimator for the whole pipeline: its transpile caches persist
+        # across co-search restarts and are handed to the deploy/evaluate
+        # backend, so stage 5 reuses (and extends) the search's compilations
+        # instead of starting cold.
+        self.estimator = PerformanceEstimator(self.device, self.config.estimator)
 
     # -- stages ----------------------------------------------------------------
 
@@ -124,14 +129,13 @@ class QuantumNASQMLPipeline:
         )
 
     def co_search(self) -> EvolutionResult:
-        estimator = PerformanceEstimator(self.device, self.config.estimator)
         engine = EvolutionEngine(
             self.space, self.n_qubits, self.device, self.config.evolution
         )
         # Populations are submitted through the execution engine, which
         # batches them (or replays the per-candidate seed path when
         # ``EstimatorConfig.engine == "sequential"``).
-        execution = estimator.population_engine(self.supercircuit)
+        execution = self.estimator.population_engine(self.supercircuit)
         return engine.search(
             population_score_fn=execution.qml_population_scorer(
                 self.dataset, self.n_classes
@@ -151,7 +155,11 @@ class QuantumNASQMLPipeline:
         self, model: QNNModel, weights: np.ndarray, mapping: Tuple[int, ...]
     ) -> Dict[str, float]:
         backend = QuantumBackend(
-            self.device, shots=self.config.eval_shots, seed=self.config.seed
+            self.device,
+            shots=self.config.eval_shots,
+            seed=self.config.seed,
+            transpile_cache=self.estimator.transpile_cache,
+            parametric_cache=self.estimator.parametric_transpile_cache,
         )
         return evaluate_on_backend(
             model,
@@ -277,13 +285,14 @@ class QuantumNASVQEPipeline:
         self.supercircuit = SuperCircuit(
             space, self.n_qubits, encoder=None, seed=self.config.seed
         )
+        # shared estimator: transpile caches persist across pipeline stages
+        self.estimator = PerformanceEstimator(self.device, self.config.estimator)
 
     def co_search(self) -> EvolutionResult:
-        estimator = PerformanceEstimator(self.device, self.config.estimator)
         engine = EvolutionEngine(
             self.space, self.n_qubits, self.device, self.config.evolution
         )
-        execution = estimator.population_engine(self.supercircuit)
+        execution = self.estimator.population_engine(self.supercircuit)
         return engine.search(
             population_score_fn=execution.vqe_population_scorer(self.molecule)
         )
@@ -292,7 +301,10 @@ class QuantumNASVQEPipeline:
         self, model: VQEModel, weights: np.ndarray, mapping: Tuple[int, ...]
     ) -> float:
         backend = QuantumBackend(
-            self.device, shots=self.config.eval_shots, seed=self.config.seed
+            self.device,
+            shots=self.config.eval_shots,
+            seed=self.config.seed,
+            transpile_cache=self.estimator.transpile_cache,
         )
         return model.measure_energy(
             weights, backend, initial_layout=mapping, shots=self.config.eval_shots

@@ -113,12 +113,20 @@ class QuantumBackend:
         seed: Optional[int] = None,
         max_density_qubits: int = 10,
         queue_delay_seconds: float = 0.0,
+        transpile_cache=None,
+        parametric_cache=None,
     ) -> None:
         self.device = device
         self.shots = int(shots)
         self.rng = ensure_rng(seed)
         self.max_density_qubits = int(max_density_qubits)
         self.queue_delay_seconds = float(queue_delay_seconds)
+        #: optional warm-start caches (repro.execution.cache), typically the
+        #: search estimator's instances handed down by the pipeline so the
+        #: deploy/evaluate stage reuses co-search compilations.  ``None``
+        #: preserves the historical compile-per-run behavior exactly.
+        self.transpile_cache = transpile_cache
+        self.parametric_cache = parametric_cache
         self._executions = 0
 
     @property
@@ -136,13 +144,62 @@ class QuantumBackend:
         shots: Optional[int] = None,
     ) -> BackendResult:
         """Transpile and execute a logical circuit, measuring all qubits."""
-        compiled = transpile(
-            circuit,
-            self.device,
+        if self.transpile_cache is not None:
+            compiled = self.transpile_cache.get(
+                circuit,
+                self.device,
+                initial_layout=initial_layout,
+                optimization_level=optimization_level,
+            )
+        else:
+            compiled = transpile(
+                circuit,
+                self.device,
+                initial_layout=initial_layout,
+                optimization_level=optimization_level,
+            )
+        return self.run_compiled(compiled, n_logical=circuit.n_qubits, shots=shots)
+
+    def run_parameterized(
+        self,
+        circuit,
+        weights,
+        features_row=None,
+        initial_layout=None,
+        optimization_level: int = 2,
+        shots: Optional[int] = None,
+    ) -> BackendResult:
+        """Bind and execute a :class:`ParameterizedCircuit` for one sample.
+
+        With a :class:`~repro.execution.ParametricTranspileCache` attached,
+        the circuit structure is compiled once and each sample is an
+        O(params) template bind — this is what makes the deploy/evaluate
+        stage (hundreds of samples, one structure) transpile-cheap.  Without
+        caches it is exactly ``run(circuit.bind(weights, features_row))``.
+        """
+        if self.parametric_cache is not None:
+            compiled = self.parametric_cache.get_bound(
+                circuit,
+                weights,
+                features_row,
+                self.device,
+                initial_layout=initial_layout,
+                optimization_level=optimization_level,
+            )
+            return self.run_compiled(
+                compiled, n_logical=circuit.n_qubits, shots=shots
+            )
+        bound = (
+            circuit.bind(weights, features_row)
+            if features_row is not None
+            else circuit.bind(weights)
+        )
+        return self.run(
+            bound,
             initial_layout=initial_layout,
             optimization_level=optimization_level,
+            shots=shots,
         )
-        return self.run_compiled(compiled, n_logical=circuit.n_qubits, shots=shots)
 
     def run_compiled(
         self,

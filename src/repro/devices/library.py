@@ -9,7 +9,7 @@ between search time and deployment time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..noise.models import NoiseModel
@@ -36,13 +36,22 @@ class Device:
     calibration: Calibration
     quantum_volume: int
     basis_gates: Tuple[str, ...] = ("cx", "sx", "rz", "x")
+    #: memoized noise model — the calibration snapshot is immutable for the
+    #: lifetime of a Device (drift produces a *new* Device), and every caller
+    #: treats the returned model as read-only (``reduced`` copies), so the
+    #: success-rate / layout-scoring hot paths share one instance.
+    _noise_model: Optional[NoiseModel] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def n_qubits(self) -> int:
         return self.topology.n_qubits
 
     def noise_model(self) -> NoiseModel:
-        return self.calibration.noise_model()
+        if self._noise_model is None:
+            self._noise_model = self.calibration.noise_model()
+        return self._noise_model
 
     def error_summary(self) -> Dict[str, float]:
         return {

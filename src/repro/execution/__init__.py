@@ -21,12 +21,24 @@ via :mod:`repro.quantum.fusion` — TorchQuantum's static mode — so the hot
 loop applies fewer, larger contractions.  Per-sample encoder gates stay
 dynamic and are applied with batched matrices.
 
+**Parametric transpilation.**  In ``noise_sim`` mode every (genome, mapping)
+structure is compiled *once* into a :class:`repro.transpile.parametric.
+ParametricCompiledCircuit` — layout, routing, decomposition and the
+value-agnostic optimization passes run per structure, and each validation
+sample's angles are filled into the compiled template in O(params) through
+the :class:`ParametricTranspileCache` (structure-keyed, with a short list of
+witness variants and the bound-key cache as exact fallback for bindings that
+cross a compile-time branch).  ``EstimatorConfig.parametric_transpile=False``
+replays the PR-2 bound-key path exactly.
+
 **LRU transpilation cache.**  Compilations are memoized by (bound-circuit
-fingerprint, device, initial layout, optimization level).  Duplicated
-candidates, surviving parents and repeated (genome, mapping) pairs across
-generations reuse the exact compiled object instead of re-running layout,
-routing, decomposition and the optimization passes.  Compiled circuits are
-treated as immutable shared state.
+fingerprint, device, initial layout, optimization level, pinned seed).
+Duplicated candidates, surviving parents and repeated (genome, mapping)
+pairs across generations reuse the exact compiled object instead of
+re-running layout, routing, decomposition and the optimization passes.
+Compiled circuits are treated as immutable shared state.  Both caches are
+owned by the :class:`~repro.core.estimator.PerformanceEstimator`, so they
+persist across co-search restarts and into the deploy/evaluate backend.
 
 **Batched density-matrix simulation.**  ``noise_sim`` candidates submit their
 compiled circuits to a runner that groups structurally aligned circuits
@@ -42,10 +54,17 @@ implementation; the equivalence tests in ``tests/execution`` pin the batched
 mode against it to 1e-9 on expectations, losses and evolution rankings.
 """
 
-from .cache import TranspileCache, TranspileCacheStats
+from .cache import (
+    ParametricCacheStats,
+    ParametricTranspileCache,
+    TranspileCache,
+    TranspileCacheStats,
+)
 from .engine import ExecutionEngine, ExecutionStats
 
 __all__ = [
+    "ParametricCacheStats",
+    "ParametricTranspileCache",
     "TranspileCache",
     "TranspileCacheStats",
     "ExecutionEngine",

@@ -19,15 +19,42 @@ object.
 
 from __future__ import annotations
 
+import hashlib
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Tuple
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
 
 from ..devices.library import Device
-from ..quantum.circuit import QuantumCircuit
+from ..quantum.circuit import ParameterizedCircuit, QuantumCircuit
 from ..transpile.compiler import CompiledCircuit, transpile
+from ..transpile.parametric import (
+    ParametricCompiledCircuit,
+    _default_witness,
+    parametric_fingerprint,
+    parametric_transpile,
+)
 
-__all__ = ["TranspileCacheStats", "TranspileCache"]
+__all__ = [
+    "TranspileCacheStats",
+    "TranspileCache",
+    "ParametricCacheStats",
+    "ParametricTranspileCache",
+]
+
+
+def stable_seed(key: Tuple) -> int:
+    """A deterministic 32-bit seed derived from a hashable cache key.
+
+    ``hash()`` is salted per process for strings, so the seed is derived from
+    ``repr`` instead — cache entries (and the SABRE trials behind
+    ``optimization_level=3``) are then reproducible across processes and
+    insertion orders.
+    """
+    digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "big")
 
 
 @dataclass
@@ -37,6 +64,7 @@ class TranspileCacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    compile_seconds: float = 0.0
 
     @property
     def requests(self) -> int:
@@ -93,13 +121,22 @@ class TranspileCache:
         device: Device,
         initial_layout,
         optimization_level: int,
+        seed: Optional[int] = None,
     ) -> Tuple:
-        return (
+        base = (
             device.name,
             int(optimization_level),
             _normalize_layout(initial_layout),
             circuit_fingerprint(circuit),
         )
+        # The transpile seed is pinned per key: ``optimization_level=3`` runs
+        # randomized SABRE trials, and an unseeded compile would make cache
+        # entries depend on insertion order (first caller wins).  Deriving the
+        # seed from the key keeps compilations a pure function of their
+        # inputs; an explicit ``seed`` (e.g. a parametric structure's pinned
+        # seed, so template binds and exact fallbacks share one compilation
+        # stream) overrides the derived one and is part of the key.
+        return base + (stable_seed(base) if seed is None else int(seed),)
 
     def get(
         self,
@@ -107,21 +144,25 @@ class TranspileCache:
         device: Device,
         initial_layout=None,
         optimization_level: int = 2,
+        seed: Optional[int] = None,
     ) -> CompiledCircuit:
         """Compile ``circuit`` (or return the cached compilation)."""
-        key = self.key_for(circuit, device, initial_layout, optimization_level)
+        key = self.key_for(circuit, device, initial_layout, optimization_level, seed)
         entry = self._entries.get(key)
         if entry is not None:
             self.stats.hits += 1
             self._entries.move_to_end(key)
             return entry
         self.stats.misses += 1
+        start = time.perf_counter()
         compiled = transpile(
             circuit,
             device,
             initial_layout=initial_layout,
             optimization_level=optimization_level,
+            seed=key[-1],
         )
+        self.stats.compile_seconds += time.perf_counter() - start
         self._entries[key] = compiled
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
@@ -131,3 +172,322 @@ class TranspileCache:
     def clear(self) -> None:
         self._entries.clear()
         self.stats = TranspileCacheStats()
+
+
+# ---------------------------------------------------------------------------
+# Structure-keyed parametric cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParametricCacheStats:
+    """Counters of a :class:`ParametricTranspileCache`.
+
+    ``structure_*`` counts lookups of compiled circuit *structures* (one per
+    (circuit structure, device, layout, optimization level)); ``bind_*``
+    counts bound-circuit lookups (one per parameter binding).  ``fallbacks``
+    counts bindings that crossed a compile-time branch of every cached
+    template variant and were served by a full concrete transpile instead —
+    the result is still exact, just not amortized.
+    """
+
+    structure_hits: int = 0
+    structure_misses: int = 0
+    structure_evictions: int = 0
+    bind_hits: int = 0
+    bind_misses: int = 0
+    bind_evictions: int = 0
+    fallbacks: int = 0
+    variants_compiled: int = 0
+    compile_seconds: float = 0.0
+    bind_seconds: float = 0.0
+
+    @property
+    def structure_requests(self) -> int:
+        return self.structure_hits + self.structure_misses
+
+    @property
+    def structure_hit_rate(self) -> float:
+        requests = self.structure_requests
+        return self.structure_hits / requests if requests else 0.0
+
+    @property
+    def bind_requests(self) -> int:
+        return self.bind_hits + self.bind_misses
+
+    @property
+    def bind_hit_rate(self) -> float:
+        requests = self.bind_requests
+        return self.bind_hits / requests if requests else 0.0
+
+    @property
+    def fallback_rate(self) -> float:
+        requests = self.bind_requests
+        return self.fallbacks / requests if requests else 0.0
+
+
+class _StructureState:
+    """Template variants plus the adaptive-variant miss counter."""
+
+    __slots__ = ("variants", "template_misses")
+
+    def __init__(self) -> None:
+        self.variants: list = []
+        self.template_misses = 0
+
+
+class ParametricTranspileCache:
+    """An LRU cache of parametric compilations, keyed by circuit *structure*.
+
+    Where :class:`TranspileCache` keys on the bound instruction stream (every
+    parameter binding is its own entry compiled by a full pipeline run), this
+    cache keys on the unbound structure — gate/qubit/parameter-slot layout,
+    device, normalized initial layout, optimization level and the pinned
+    transpile seed — and serves each binding by filling the compiled
+    template's angle slots.
+
+    Each structure holds a short list of template *variants*: a parametric
+    template is traced against a witness binding (a generic, nowhere-zero one
+    for the first variant), and a binding that crosses a compile-time branch
+    (e.g. a rotation angle that is exactly zero for one sample) cannot reuse
+    that witness's template.  Such bindings are served by ``fallback`` — the
+    exact bound-key cache — and once a structure has accumulated
+    ``variant_threshold`` template misses, the next missing binding compiles
+    a new variant with itself as witness (up to ``max_variants``).  A one-off
+    pathological sample therefore costs one concrete transpile, while a
+    *recurring* branch pattern gets its own amortized template; results are
+    identical either way.
+
+    Bound results are memoized in a second LRU so duplicated candidates and
+    repeated samples receive the *same* :class:`CompiledCircuit` object,
+    which downstream consumers (the batched density runner) rely on for
+    deduplication.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 256,
+        bound_maxsize: int = 1024,
+        max_variants: int = 4,
+        variant_threshold: int = 2,
+        fallback: Optional[TranspileCache] = None,
+    ) -> None:
+        if maxsize < 1 or bound_maxsize < 1:
+            raise ValueError("cache maxsize must be positive")
+        if max_variants < 1:
+            raise ValueError("max_variants must be positive")
+        self.maxsize = int(maxsize)
+        self.bound_maxsize = int(bound_maxsize)
+        self.max_variants = int(max_variants)
+        self.variant_threshold = int(variant_threshold)
+        self.fallback = fallback if fallback is not None else TranspileCache(bound_maxsize)
+        self.stats = ParametricCacheStats()
+        self._structures: "OrderedDict[Tuple, _StructureState]" = OrderedDict()
+        self._bound: "OrderedDict[Tuple, CompiledCircuit]" = OrderedDict()
+        # ParameterizedCircuit objects are long-lived (one per genome group);
+        # fingerprinting — and deriving the seed-carrying full key, which
+        # serializes the whole fingerprint — per sample would dominate bind
+        # time, so both are memoized per (circuit object, device, layout,
+        # level).  LRU-bounded: the strong circuit references (needed so
+        # CPython cannot recycle the id) must not pin every circuit a
+        # long-lived estimator ever saw.
+        self._keys: "OrderedDict[int, Tuple[ParameterizedCircuit, dict]]" = (
+            OrderedDict()
+        )
+        self._keys_maxsize = 4 * self.maxsize
+
+    def __len__(self) -> int:
+        return len(self._structures)
+
+    # -- keys ---------------------------------------------------------------
+
+    def key_for(
+        self,
+        circuit: ParameterizedCircuit,
+        device: Device,
+        initial_layout,
+        optimization_level: int,
+    ) -> Tuple:
+        entry = self._keys.get(id(circuit))
+        if entry is None or entry[0] is not circuit:
+            entry = (circuit, {})
+            self._keys[id(circuit)] = entry
+            if len(self._keys) > self._keys_maxsize:
+                self._keys.popitem(last=False)
+        else:
+            self._keys.move_to_end(id(circuit))
+        variant = (device.name, int(optimization_level), _normalize_layout(initial_layout))
+        key = entry[1].get(variant)
+        if key is None:
+            base = variant + (parametric_fingerprint(circuit),)
+            key = base + (stable_seed(base),)
+            entry[1][variant] = key
+        return key
+
+    # -- structure lookups ----------------------------------------------------
+
+    def get_structure(
+        self,
+        circuit: ParameterizedCircuit,
+        device: Device,
+        initial_layout=None,
+        optimization_level: int = 2,
+        witness_values: Optional[np.ndarray] = None,
+    ) -> ParametricCompiledCircuit:
+        """The first template variant for a structure (compiling on miss)."""
+        key = self.key_for(circuit, device, initial_layout, optimization_level)
+        state = self._structure_state(key)
+        if state is None:
+            state = self._insert_structure(key)
+        if not state.variants:
+            state.variants.append(
+                self._compile(
+                    circuit, device, initial_layout, optimization_level,
+                    key[-1], witness_values,
+                )
+            )
+        return state.variants[0]
+
+    def _structure_state(self, key) -> Optional["_StructureState"]:
+        state = self._structures.get(key)
+        if state is not None:
+            self.stats.structure_hits += 1
+            self._structures.move_to_end(key)
+        return state
+
+    def _insert_structure(self, key) -> "_StructureState":
+        self.stats.structure_misses += 1
+        state = _StructureState()
+        self._structures[key] = state
+        if len(self._structures) > self.maxsize:
+            self._structures.popitem(last=False)
+            self.stats.structure_evictions += 1
+        return state
+
+    def _compile(
+        self, circuit, device, initial_layout, optimization_level, seed,
+        witness_values,
+    ) -> ParametricCompiledCircuit:
+        start = time.perf_counter()
+        compiled = parametric_transpile(
+            circuit,
+            device,
+            initial_layout=initial_layout,
+            optimization_level=optimization_level,
+            seed=seed,
+            witness_values=witness_values,
+        )
+        self.stats.compile_seconds += time.perf_counter() - start
+        self.stats.variants_compiled += 1
+        return compiled
+
+    # -- bound lookups --------------------------------------------------------
+
+    def get_bound(
+        self,
+        circuit: ParameterizedCircuit,
+        weights: np.ndarray,
+        features_row: Optional[np.ndarray] = None,
+        device: Optional[Device] = None,
+        initial_layout=None,
+        optimization_level: int = 2,
+    ) -> CompiledCircuit:
+        """The compiled circuit for one parameter binding.
+
+        Identical bindings return the identical object.  Exactness contract:
+        the result always matches ``transpile(circuit.bind(weights, row))``
+        with this cache's pinned seed — via a template bind when a variant's
+        compile-time branches cover the binding, via the bound-key fallback
+        cache otherwise.
+        """
+        if device is None:
+            raise ValueError("device is required")
+        weights = np.asarray(weights, dtype=float).ravel()
+        if features_row is not None:
+            features_row = np.asarray(features_row, dtype=float).ravel()
+            values = np.concatenate([weights, features_row])
+        else:
+            values = weights
+        key = self.key_for(circuit, device, initial_layout, optimization_level)
+        bound_key = (key, values.tobytes())
+        bound = self._bound.get(bound_key)
+        if bound is not None:
+            self.stats.bind_hits += 1
+            self._bound.move_to_end(bound_key)
+            return bound
+        self.stats.bind_misses += 1
+
+        state = self._structure_state(key)
+        if state is None:
+            state = self._insert_structure(key)
+        if not state.variants:
+            # The first variant is traced against a hybrid witness: the *real*
+            # weights (weight-dependent branch signs are shared by every
+            # sample of this structure) joined with generic nowhere-zero
+            # feature values — a pathological first sample (e.g. a blank
+            # image pixel encoding an exact-zero rotation) must not poison
+            # the template every other sample will use.
+            if features_row is not None and len(features_row):
+                generic = _default_witness(len(features_row), None)
+                witness = np.concatenate([weights, generic])
+            else:
+                witness = values
+            state.variants.append(
+                self._compile(
+                    circuit, device, initial_layout, optimization_level,
+                    key[-1], witness,
+                )
+            )
+        compiled: Optional[CompiledCircuit] = None
+        start = time.perf_counter()
+        for variant in state.variants:
+            compiled = variant.try_bind(values)
+            if compiled is not None:
+                break
+        self.stats.bind_seconds += time.perf_counter() - start
+        if compiled is None:
+            state.template_misses += 1
+            if (
+                state.template_misses >= self.variant_threshold
+                and len(state.variants) < self.max_variants
+            ):
+                # this branch pattern keeps recurring: give it its own
+                # variant, traced against this binding (whose own bind is
+                # then guaranteed to succeed)
+                variant = self._compile(
+                    circuit, device, initial_layout, optimization_level,
+                    key[-1], values,
+                )
+                state.variants.append(variant)
+                state.template_misses = 0
+                start = time.perf_counter()
+                compiled = variant.bind(values)
+                self.stats.bind_seconds += time.perf_counter() - start
+            else:
+                self.stats.fallbacks += 1
+                bound_circuit = (
+                    circuit.bind(weights, features_row)
+                    if features_row is not None
+                    else circuit.bind(weights)
+                )
+                # the structure's pinned seed rides along so SABRE draws (and
+                # therefore the compiled result) match what a successful
+                # template bind of this structure would have produced
+                compiled = self.fallback.get(
+                    bound_circuit,
+                    device,
+                    initial_layout=initial_layout,
+                    optimization_level=optimization_level,
+                    seed=key[-1],
+                )
+        self._bound[bound_key] = compiled
+        if len(self._bound) > self.bound_maxsize:
+            self._bound.popitem(last=False)
+            self.stats.bind_evictions += 1
+        return compiled
+
+    def clear(self) -> None:
+        self._structures.clear()
+        self._bound.clear()
+        self._keys.clear()
+        self.stats = ParametricCacheStats()

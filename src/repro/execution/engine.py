@@ -48,7 +48,7 @@ from ..quantum.statevector import (
     zero_state,
 )
 from ..utils.stats import nll_loss, softmax
-from .cache import TranspileCache
+from .cache import ParametricTranspileCache, TranspileCache
 
 __all__ = ["ExecutionStats", "ExecutionEngine"]
 
@@ -255,6 +255,7 @@ class ExecutionEngine:
         fusion: Optional[bool] = None,
         max_fused_qubits: Optional[int] = None,
         transpile_cache_size: Optional[int] = None,
+        parametric_transpile: Optional[bool] = None,
     ) -> None:
         config = estimator.config
         self.estimator = estimator
@@ -270,12 +271,33 @@ class ExecutionEngine:
             if max_fused_qubits is None
             else max_fused_qubits
         )
-        self.transpile_cache = TranspileCache(
-            int(
-                getattr(config, "transpile_cache_size", 1024)
-                if transpile_cache_size is None
-                else transpile_cache_size
+        # Caches are owned by the estimator when it provides them (the default
+        # since the warm-start work), so engines created for successive
+        # co-searches — and the deploy/evaluate stage — share one instance.
+        # An explicit transpile_cache_size opts out into private caches.
+        shared_cache = getattr(estimator, "transpile_cache", None)
+        if transpile_cache_size is None and shared_cache is not None:
+            self.transpile_cache = shared_cache
+        else:
+            self.transpile_cache = TranspileCache(
+                int(
+                    getattr(config, "transpile_cache_size", 1024)
+                    if transpile_cache_size is None
+                    else transpile_cache_size
+                )
             )
+        shared_parametric = getattr(estimator, "parametric_transpile_cache", None)
+        if transpile_cache_size is None and shared_parametric is not None:
+            self.parametric_cache = shared_parametric
+        else:
+            self.parametric_cache = ParametricTranspileCache(
+                bound_maxsize=self.transpile_cache.maxsize,
+                fallback=self.transpile_cache,
+            )
+        self.parametric_transpile = bool(
+            getattr(config, "parametric_transpile", True)
+            if parametric_transpile is None
+            else parametric_transpile
         )
         self.stats = ExecutionStats()
         self._qml_structures: "OrderedDict[Tuple, _StructureEntry]" = OrderedDict()
@@ -347,6 +369,10 @@ class ExecutionEngine:
             return scores
 
         if mode == "success_rate":
+            # one binding per candidate — there is nothing for a parametric
+            # template to amortize inside a population, so this path stays on
+            # the bound-key cache (itself sped up by the memoized noise model
+            # behind success_rate()); warm populations hit the cache as before
             optimization_level = estimator.config.optimization_level
             for entry, indices in groups:
                 loss = self._qml_noise_free_loss(entry, features, labels, n_classes)
@@ -362,13 +388,22 @@ class ExecutionEngine:
             return scores
 
         # noise_sim: batched density-matrix simulation over every validation
-        # sample of every candidate
+        # sample of every candidate — transpiled once per (genome, mapping)
+        # structure and re-bound per sample on the parametric path
         runner = _BatchedDensityRunner(
             estimator.device, estimator.config.max_density_qubits
         )
         optimization_level = estimator.config.optimization_level
         jobs_by_candidate: Dict[int, List[_DensityJob]] = {}
         for entry, indices in groups:
+            if self.parametric_transpile:
+                for index in indices:
+                    mapping = candidates[index].mapping
+                    jobs_by_candidate[index] = [
+                        runner.submit(self._compile_parametric(entry, mapping, row))
+                        for row in features
+                    ]
+                continue
             bound_rows = [
                 entry.circuit.bind(entry.weights, row) for row in features
             ]
@@ -448,16 +483,22 @@ class ExecutionEngine:
         runner = _BatchedDensityRunner(estimator.device, max_density)
         density_jobs: List[Tuple[int, _DensityJob]] = []
 
+        use_parametric = self.parametric_transpile and mode == "noise_sim"
         for group_index, (entry, indices) in enumerate(groups):
             energy = noise_free[group_index]
-            bound = entry.circuit.bind(entry.weights)
+            bound = None if use_parametric else entry.circuit.bind(entry.weights)
             for index in indices:
-                compiled = self.transpile_cache.get(
-                    bound,
-                    estimator.device,
-                    initial_layout=candidates[index].mapping,
-                    optimization_level=optimization_level,
-                )
+                if bound is None:
+                    compiled = self._compile_parametric(
+                        entry, candidates[index].mapping, None
+                    )
+                else:
+                    compiled = self.transpile_cache.get(
+                        bound,
+                        estimator.device,
+                        initial_layout=candidates[index].mapping,
+                        optimization_level=optimization_level,
+                    )
                 if mode == "success_rate":
                     rate = compiled.success_rate()
                     scores[index] = rate * energy + (1.0 - rate) * mixed_energy
@@ -511,13 +552,22 @@ class ExecutionEngine:
         )
         jobs = []
         for row in np.atleast_2d(features):
-            bound = circuit.bind(weights, row)
-            compiled = self.transpile_cache.get(
-                bound,
-                estimator.device,
-                initial_layout=mapping,
-                optimization_level=estimator.config.optimization_level,
-            )
+            if self.parametric_transpile:
+                compiled = self.parametric_cache.get_bound(
+                    circuit,
+                    weights,
+                    row,
+                    estimator.device,
+                    initial_layout=mapping,
+                    optimization_level=estimator.config.optimization_level,
+                )
+            else:
+                compiled = self.transpile_cache.get(
+                    circuit.bind(weights, row),
+                    estimator.device,
+                    initial_layout=mapping,
+                    optimization_level=estimator.config.optimization_level,
+                )
             jobs.append(runner.submit(compiled))
         runner.run()
         return np.stack(
@@ -543,6 +593,25 @@ class ExecutionEngine:
         )
 
     # -- internals ----------------------------------------------------------------
+
+    def _compile_parametric(
+        self, entry: "_StructureEntry", mapping, features_row
+    ) -> object:
+        """Compiled circuit for one binding via the structure-keyed cache.
+
+        One parametric compilation per (genome, mapping) structure; every
+        (weights, sample) binding is an O(params) template fill, with the
+        bound-key cache as exact fallback for bindings that cross a
+        compile-time branch.
+        """
+        return self.parametric_cache.get_bound(
+            entry.circuit,
+            entry.weights,
+            features_row,
+            self.estimator.device,
+            initial_layout=mapping,
+            optimization_level=self.estimator.config.optimization_level,
+        )
 
     def _maybe_invalidate_structures(self) -> None:
         """Drop cached circuits when the SuperCircuit parameters change."""

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import List, Sequence
+from functools import lru_cache
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -28,11 +29,17 @@ __all__ = [
 _PAULIS = [PAULI_I, PAULI_X, PAULI_Y, PAULI_Z]
 
 
-def depolarizing_kraus(probability: float, n_qubits: int = 1) -> List[np.ndarray]:
+@lru_cache(maxsize=512)
+def depolarizing_kraus(probability: float, n_qubits: int = 1) -> Tuple[np.ndarray, ...]:
     """Depolarizing channel on ``n_qubits`` with error probability ``p``.
 
     With probability ``p`` the state is replaced by a uniformly random Pauli
     error (excluding identity); with probability ``1 - p`` it is untouched.
+
+    Memoized: a device has a handful of distinct error rates but the noisy
+    simulation hot loop requests the channel once per gate position, so the
+    operators (an ``n_qubits``-fold Kronecker sweep) are built once per
+    ``(probability, n_qubits)`` and shared read-only.
     """
     if not 0.0 <= probability <= 1.0:
         raise ValueError("probability must be in [0, 1]")
@@ -46,7 +53,9 @@ def depolarizing_kraus(probability: float, n_qubits: int = 1) -> List[np.ndarray
             kraus.append(math.sqrt(1.0 - probability) * op)
         else:
             kraus.append(math.sqrt(probability / (dim_terms - 1)) * op)
-    return kraus
+    for op in kraus:
+        op.flags.writeable = False
+    return tuple(kraus)
 
 
 def amplitude_damping_kraus(gamma: float) -> List[np.ndarray]:
@@ -74,14 +83,18 @@ def _compose_single_qubit(
     return [b @ a for a in first for b in second]
 
 
+@lru_cache(maxsize=4096)
 def thermal_relaxation_kraus(
     t1: float, t2: float, duration: float
-) -> List[np.ndarray]:
+) -> Tuple[np.ndarray, ...]:
     """Thermal relaxation during ``duration`` given T1/T2 times.
 
     Modelled as amplitude damping (rate ``1/T1``) followed by pure dephasing at
     the excess rate ``1/T_phi = 1/T2 - 1/(2 T1)`` — the standard decomposition
     for ``T2 <= 2 T1`` superconducting qubits.
+
+    Memoized per ``(t1, t2, duration)`` — the simulation hot loop requests the
+    same per-qubit channel once per gate position.  Operators are read-only.
     """
     if t1 <= 0 or t2 <= 0:
         raise ValueError("T1 and T2 must be positive")
@@ -91,7 +104,12 @@ def thermal_relaxation_kraus(
     gamma = 1.0 - math.exp(-duration / t1)
     rate_phi = max(1.0 / t2 - 0.5 / t1, 0.0)
     lam = 1.0 - math.exp(-2.0 * duration * rate_phi)
-    return _compose_single_qubit(amplitude_damping_kraus(gamma), phase_damping_kraus(lam))
+    kraus = _compose_single_qubit(
+        amplitude_damping_kraus(gamma), phase_damping_kraus(lam)
+    )
+    for op in kraus:
+        op.flags.writeable = False
+    return tuple(kraus)
 
 
 def readout_confusion_matrix(p_meas1_given0: float, p_meas0_given1: float):

@@ -36,13 +36,20 @@ def noisy_expectations(
     optimization_level: int = 2,
     shots: Optional[int] = None,
 ) -> np.ndarray:
-    """Per-sample Z expectations measured on the noisy backend."""
+    """Per-sample Z expectations measured on the noisy backend.
+
+    Every sample shares one circuit structure, so this goes through
+    :meth:`QuantumBackend.run_parameterized` — a backend carrying a
+    parametric transpile cache (e.g. the search estimator's, handed down by
+    the pipeline) compiles the structure once and re-binds angles per sample.
+    """
     features = np.atleast_2d(np.asarray(features, dtype=float))
     expectations = np.zeros((len(features), model.n_qubits))
     for index, row in enumerate(features):
-        bound = model.circuit.bind(weights, row)
-        result = backend.run(
-            bound,
+        result = backend.run_parameterized(
+            model.circuit,
+            weights,
+            row,
             initial_layout=initial_layout,
             optimization_level=optimization_level,
             shots=shots,

@@ -9,7 +9,8 @@ that gates and Kraus operators are applied locally without building full
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from functools import lru_cache
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -72,6 +73,27 @@ def kraus_to_superoperator(kraus_operators: Sequence[np.ndarray]) -> np.ndarray:
     return superop
 
 
+#: superoperators memoized by Kraus-tuple identity.  The channel constructors
+#: in repro.noise.channels are themselves memoized, so the identical tuple
+#: object arrives once per gate position of every circuit — rebuilding the
+#: superoperator each time dominated the batched noise_sim hot loop.  Entries
+#: keep a strong reference to the operators so CPython cannot recycle the id.
+_SUPEROP_CACHE: dict = {}
+
+
+def _cached_superoperator(kraus_operators: Sequence[np.ndarray]) -> np.ndarray:
+    key = id(kraus_operators)
+    entry = _SUPEROP_CACHE.get(key)
+    if entry is None or entry[0] is not kraus_operators:
+        if len(_SUPEROP_CACHE) >= 1024:
+            _SUPEROP_CACHE.clear()
+        superop = kraus_to_superoperator(kraus_operators)
+        superop.flags.writeable = False
+        _SUPEROP_CACHE[key] = (kraus_operators, superop)
+        return superop
+    return entry[1]
+
+
 def apply_kraus(
     rho: np.ndarray, kraus_operators: Sequence[np.ndarray], qubits: Sequence[int]
 ) -> np.ndarray:
@@ -90,7 +112,7 @@ def apply_kraus(
             )
         return out
     k = len(qubits)
-    superop = kraus_to_superoperator(kraus_operators)
+    superop = _cached_superoperator(kraus_operators)
     reshaped = superop.reshape((2,) * (4 * k))
     axes = [q for q in qubits] + [n + q for q in qubits]
     moved = np.tensordot(reshaped, rho, axes=(list(range(2 * k, 4 * k)), axes))
@@ -116,6 +138,33 @@ def zero_density_matrices(n_qubits: int, batch: int = 1) -> np.ndarray:
     return rhos
 
 
+@lru_cache(maxsize=4096)
+def _front_permutation(
+    ndim: int, axes: Tuple[int, ...]
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Permutation bringing ``axes`` to the front, and its inverse.
+
+    Cached per ``(ndim, axes)``: the batched hot loop applies the same
+    handful of gate/channel positions thousands of times, and recomputing
+    the axis bookkeeping (as ``tensordot``/``moveaxis`` do per call)
+    dominated the contraction cost on small registers.
+    """
+    perm = tuple(axes) + tuple(a for a in range(ndim) if a not in axes)
+    inverse = tuple(int(i) for i in np.argsort(perm))
+    return perm, inverse
+
+
+def _apply_front_matrix(
+    tensor: np.ndarray, operator: np.ndarray, axes: Tuple[int, ...]
+) -> np.ndarray:
+    """Contract a ``(D, D)`` operator against ``axes`` of a tensor via BLAS."""
+    perm, inverse = _front_permutation(tensor.ndim, axes)
+    moved = tensor.transpose(perm)
+    flat = moved.reshape(operator.shape[0], -1)
+    out = operator @ flat
+    return out.reshape(moved.shape).transpose(inverse)
+
+
 def _apply_side_batch(
     rhos: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], side: str
 ) -> np.ndarray:
@@ -128,15 +177,13 @@ def _apply_side_batch(
     k = len(qubits)
     dim = 2**k
     if side == "left":
-        axes = [1 + q for q in qubits]
+        axes = tuple(1 + q for q in qubits)
     else:
         matrix = matrix.conj()
-        axes = [1 + n + q for q in qubits]
+        axes = tuple(1 + n + q for q in qubits)
 
     if matrix.ndim == 2:
-        reshaped = matrix.reshape((2,) * (2 * k))
-        moved = np.tensordot(reshaped, rhos, axes=(list(range(k, 2 * k)), axes))
-        return np.moveaxis(moved, list(range(k)), axes)
+        return _apply_front_matrix(rhos, matrix, axes)
 
     if matrix.ndim != 3:
         raise ValueError("matrix must have 2 or 3 dimensions")
@@ -182,11 +229,10 @@ def apply_kraus_batch(
             )
         return out
     k = len(qubits)
-    superop = kraus_to_superoperator(kraus_operators)
-    reshaped = superop.reshape((2,) * (4 * k))
-    axes = [1 + q for q in qubits] + [1 + n + q for q in qubits]
-    moved = np.tensordot(reshaped, rhos, axes=(list(range(2 * k, 4 * k)), axes))
-    return np.moveaxis(moved, list(range(2 * k)), axes)
+    dim = 2**k
+    superop = _cached_superoperator(kraus_operators)
+    axes = tuple(1 + q for q in qubits) + tuple(1 + n + q for q in qubits)
+    return _apply_front_matrix(rhos, superop.reshape(dim * dim, dim * dim), axes)
 
 
 def density_probabilities_batch(rhos: np.ndarray) -> np.ndarray:

@@ -1,4 +1,32 @@
-"""Transpiler: layout, routing, basis decomposition and optimization passes."""
+"""Transpiler: layout, routing, basis decomposition and optimization passes.
+
+Two compilation pipelines share one set of passes:
+
+**Concrete pipeline** (:func:`transpile`).  A bound :class:`~repro.quantum.
+circuit.QuantumCircuit` (float angles) flows through layout resolution
+(:mod:`.layout`: trivial / noise-adaptive / SABRE / explicit mappings), SWAP
+routing onto the device coupling map (:mod:`.routing`), lowering to the
+CX/SX/RZ/X basis (:mod:`.decompose`) and the optimization passes
+(:mod:`.passes`: CX-pair cancellation, RZ merging, identity-rotation dropping,
+single-qubit-run re-synthesis), producing a :class:`CompiledCircuit`.  The
+result is a pure function of (circuit, device, layout, level, seed); the
+execution layer memoizes it by bound-circuit fingerprint.
+
+**Parametric pipeline** (:func:`parametric_transpile`, :mod:`.parametric`).
+The same stages run once over a :class:`~repro.quantum.circuit.
+ParameterizedCircuit` whose rotation angles are symbolic expressions: routing
+and CX cancellation never read values, decomposition and RZ merging are
+affine in the angles, and the value-dependent steps are traced against a
+witness binding — branch decisions become guards, non-affine steps (matrix
+U3 extraction, run re-synthesis) become replay nodes re-executed per binding.
+The compiled :class:`ParametricCompiledCircuit` then turns every parameter
+binding into an O(params) template fill that reproduces the concrete
+pipeline's output exactly (angles up to global-phase ``2*pi`` wraps), or
+refuses with :class:`ParametricBindMismatch` when a binding crosses a traced
+branch so callers can fall back to a concrete compile.  This is what lets the
+population execution engine transpile once per (genome, mapping) structure
+and re-bind per validation sample.
+"""
 
 from .compiler import CompiledCircuit, transpile
 from .decompose import (
@@ -18,8 +46,16 @@ from .layout import (
     sabre_layout,
     trivial_layout,
 )
+from .parametric import (
+    ParametricBindMismatch,
+    ParametricCompiledCircuit,
+    num_feature_params,
+    parametric_fingerprint,
+    parametric_transpile,
+)
 from .passes import (
     cancel_adjacent_inverse_cx,
+    cancel_adjacent_inverse_cx_run,
     drop_identity_rotations,
     merge_adjacent_rz,
     resynthesize_single_qubit_runs,
@@ -42,7 +78,13 @@ __all__ = [
     "random_layout",
     "sabre_layout",
     "trivial_layout",
+    "ParametricBindMismatch",
+    "ParametricCompiledCircuit",
+    "num_feature_params",
+    "parametric_fingerprint",
+    "parametric_transpile",
     "cancel_adjacent_inverse_cx",
+    "cancel_adjacent_inverse_cx_run",
     "drop_identity_rotations",
     "merge_adjacent_rz",
     "resynthesize_single_qubit_runs",

@@ -9,7 +9,7 @@ cleaned up by the optimization passes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -48,6 +48,15 @@ class CompiledCircuit:
     final_layout: Layout
     used_qubits: Tuple[int, ...]
     num_swaps: int
+    # memoized derived artifacts — compiled circuits are immutable shared
+    # state (the execution engine's caches hand one instance to many
+    # callers), so both are computed at most once per compilation
+    _success_rate: Optional[float] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _reduced: Optional[Tuple[QuantumCircuit, Tuple[int, ...]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def depth(self) -> int:
@@ -70,31 +79,36 @@ class CompiledCircuit:
 
     def success_rate(self) -> float:
         """Estimated success probability under the device's noise model."""
-        model = self.device.noise_model()
-        rate = 1.0
-        for instruction in self.circuit.instructions:
-            rate *= 1.0 - model.instruction_error(instruction)
-        for qubit in self.used_qubits:
-            rate *= 1.0 - model.readout_error(qubit)
-        return max(rate, 1e-12)
+        if self._success_rate is None:
+            model = self.device.noise_model()
+            rate = 1.0
+            for instruction in self.circuit.instructions:
+                rate *= 1.0 - model.instruction_error(instruction)
+            for qubit in self.used_qubits:
+                rate *= 1.0 - model.readout_error(qubit)
+            self._success_rate = max(rate, 1e-12)
+        return self._success_rate
 
     def reduced_circuit(self) -> Tuple[QuantumCircuit, Tuple[int, ...]]:
         """Re-index the physical circuit onto only the qubits it uses.
 
         Returns the reduced circuit and the physical qubits (in order) that
         its wires correspond to — this keeps noisy simulation of circuits on
-        large devices tractable.
+        large devices tractable.  The result is memoized (and must therefore
+        be treated as read-only, like the compilation itself).
         """
-        used = self.used_qubits
-        index = {phys: i for i, phys in enumerate(used)}
-        reduced = QuantumCircuit(max(len(used), 1))
-        for instruction in self.circuit.instructions:
-            reduced.add(
-                instruction.gate,
-                tuple(index[q] for q in instruction.qubits),
-                instruction.params,
-            )
-        return reduced, used
+        if self._reduced is None:
+            used = self.used_qubits
+            index = {phys: i for i, phys in enumerate(used)}
+            reduced = QuantumCircuit(max(len(used), 1))
+            for instruction in self.circuit.instructions:
+                reduced.add(
+                    instruction.gate,
+                    tuple(index[q] for q in instruction.qubits),
+                    instruction.params,
+                )
+            self._reduced = (reduced, used)
+        return self._reduced
 
     def summary(self) -> Dict[str, float]:
         return {

@@ -1,0 +1,1267 @@
+"""Parametric transpilation: compile a circuit *structure* once, bind angles cheaply.
+
+The concrete transpiler (:func:`repro.transpile.compiler.transpile`) is a pure
+function of the bound instruction stream — every validation sample of a
+candidate re-runs layout, routing, decomposition and the optimization passes
+even though only its rotation angles changed.  This module compiles a
+:class:`~repro.quantum.circuit.ParameterizedCircuit` *symbolically*: rotation
+angles flow through the pipeline as expressions over the logical parameter
+vector (trainable weights followed by encoder features), and the result is a
+:class:`ParametricCompiledCircuit` whose :meth:`~ParametricCompiledCircuit.bind`
+fills a fixed instruction template in ``O(#parametric angles)`` instead of
+re-running the pipeline.
+
+Exactness contract
+------------------
+
+``bind(values)`` must reproduce ``transpile(circuit.bind(values), ...)``
+*instruction for instruction* (angles may differ by multiples of ``2*pi``,
+i.e. a global phase — every downstream consumer, including the success-rate
+model which charges RZ gates like any other single-qubit gate, sees identical
+numbers).  Three mechanisms make this exact rather than approximate:
+
+* **Affine tracking.**  Routing and the CX-cancellation pass never read
+  parameter values; basis decomposition and RZ merging are *affine* in the
+  angles (sums, halves, constant shifts), so physical RZ angles are recorded
+  as affine combinations of logical parameters.
+
+* **Witness-traced branches.**  Value-dependent decisions (dropping an
+  identity rotation, the zero-angle special cases of the U3 decomposition,
+  which of two SABRE layouts wins at optimization level 3) are taken for a
+  *witness* binding and recorded as guards ``is_zero(expr) == verdict``.
+
+* **Replay nodes.**  Steps that are genuinely non-affine — extracting U3
+  angles from a gate matrix, re-synthesizing a run of single-qubit gates into
+  one U3 — are recorded as *replay nodes* that re-run the identical concrete
+  code (a few 2x2 matrix products) at bind time and verify that the emitted
+  gate sequence still matches the compiled template.
+
+If a binding would take any branch differently (a guard fails or a replay
+node emits a different structure), :meth:`bind` raises
+:class:`ParametricBindMismatch` and the caller falls back to a full concrete
+transpile — cheap for the rare binding that lands exactly on a branch point,
+and always exact.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..devices.library import Device
+from ..quantum.circuit import Instruction, ParameterizedCircuit, QuantumCircuit
+from ..quantum.gates import canonical_name, gate_matrix
+from ..utils.rng import ensure_rng
+from .compiler import CompiledCircuit, LayoutSpec, _resolve_layout
+from .decompose import (
+    BASIS_GATES,
+    _decompose_single_qubit,
+    _is_zero_angle,
+    _normalize_angle,
+    decompose_instruction,
+    decompose_u3,
+    u3_angles_from_matrix,
+)
+from .layout import sabre_layout
+from .passes import _last_touching, cancel_adjacent_inverse_cx_run
+from .routing import route_circuit
+
+__all__ = [
+    "ParametricBindMismatch",
+    "ParametricCompiledCircuit",
+    "parametric_transpile",
+    "parametric_fingerprint",
+    "num_feature_params",
+]
+
+_PI = math.pi
+
+
+class ParametricBindMismatch(Exception):
+    """A binding would take a different compile-time branch than the witness.
+
+    Raised by :meth:`ParametricCompiledCircuit.bind`; callers fall back to a
+    full concrete transpile of the bound circuit, which is always exact.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Angle expressions
+# ---------------------------------------------------------------------------
+
+
+class _BindContext:
+    """Parameter values plus replay-node outputs for one binding."""
+
+    __slots__ = ("values", "node_outputs", "affine")
+
+    def __init__(self, values: np.ndarray, affine: Optional[np.ndarray] = None) -> None:
+        self.values = values
+        self.node_outputs: Dict[int, Tuple[float, ...]] = {}
+        #: pre-evaluated affine expressions (filled by the vectorized bind)
+        self.affine = affine
+
+
+class _Affine:
+    """``const + sum(coeff * param[index])`` over the logical parameter vector."""
+
+    __slots__ = ("const", "terms")
+
+    def __init__(self, const: float, terms: Tuple[Tuple[int, float], ...] = ()) -> None:
+        self.const = float(const)
+        self.terms = terms
+
+    @classmethod
+    def constant(cls, value: float) -> "_Affine":
+        return cls(value)
+
+    @classmethod
+    def parameter(cls, index: int) -> "_Affine":
+        return cls(0.0, ((int(index), 1.0),))
+
+    @property
+    def is_const(self) -> bool:
+        return not self.terms
+
+    def evaluate(self, ctx: _BindContext) -> float:
+        total = self.const
+        for index, coeff in self.terms:
+            total += coeff * ctx.values[index]
+        return total
+
+    def shift(self, offset: float) -> "_Affine":
+        return _Affine(self.const + offset, self.terms)
+
+    def scale(self, factor: float) -> "_Affine":
+        return _Affine(
+            self.const * factor,
+            tuple((i, c * factor) for i, c in self.terms),
+        )
+
+
+class _NodeAngle:
+    """One emitted angle of a replay node (flat index into its parameters)."""
+
+    __slots__ = ("node", "index")
+
+    def __init__(self, node: "_ReplayNode", index: int) -> None:
+        self.node = node
+        self.index = index
+
+    is_const = False
+
+    def evaluate(self, ctx: _BindContext) -> float:
+        return ctx.node_outputs[id(self.node)][self.index]
+
+
+class _RowExpr:
+    """An affine expression resolved through the template's matvec plan.
+
+    When a binding context carries pre-evaluated affine rows (the vectorized
+    bind), evaluation is a single array indexing; otherwise (the compile-time
+    witness context) it defers to the original expression.
+    """
+
+    __slots__ = ("row", "expr")
+
+    def __init__(self, row: int, expr) -> None:
+        self.row = row
+        self.expr = expr
+
+    is_const = False
+
+    def evaluate(self, ctx: _BindContext) -> float:
+        if ctx.affine is not None:
+            return ctx.affine[self.row]
+        return self.expr.evaluate(ctx)
+
+
+class _Sum:
+    """A flat sum of expressions (produced by RZ merging across kinds)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Tuple) -> None:
+        self.parts = parts
+
+    is_const = False
+
+    def evaluate(self, ctx: _BindContext) -> float:
+        return sum(part.evaluate(ctx) for part in self.parts)
+
+
+def _add_exprs(a, b):
+    """Sum of two expressions; stays affine when both operands are affine."""
+    if isinstance(a, _Affine) and isinstance(b, _Affine):
+        combined: Dict[int, float] = {}
+        for index, coeff in a.terms + b.terms:
+            combined[index] = combined.get(index, 0.0) + coeff
+        terms = tuple(
+            (i, c) for i, c in sorted(combined.items()) if c != 0.0
+        )
+        return _Affine(a.const + b.const, terms)
+    parts: List = []
+    for expr in (a, b):
+        parts.extend(expr.parts if isinstance(expr, _Sum) else (expr,))
+    return _Sum(tuple(parts))
+
+
+# ---------------------------------------------------------------------------
+# Fast concrete mirrors (bind-time hot path)
+#
+# These replicate decompose.py / gates.py at the level of python scalars and
+# (gate, qubits, params) tuples, avoiding Instruction/ndarray construction.
+# They must stay bit-compatible with the concrete implementations — the
+# parametric-vs-concrete equivalence tests in tests/transpile/test_parametric
+# pin that.
+# ---------------------------------------------------------------------------
+
+_INV_SQRT2 = 1.0 / math.sqrt(2.0)
+
+
+def _fast_1q_scalars(gate: str, params: Sequence[float]):
+    """The 2x2 matrix of a single-qubit gate as four python complex scalars.
+
+    Mirrors the matrix constructors in :mod:`repro.quantum.gates` (identical
+    formulas, so identical floats) for the gates that occur on the bind hot
+    path; anything else falls back to :func:`gate_matrix`.
+    """
+    if gate == "rz":
+        theta = params[0]
+        cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+        return (complex(cos, -sin), 0j, 0j, complex(cos, sin))
+    if gate == "ry":
+        theta = params[0]
+        cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+        return (complex(cos), complex(-sin), complex(sin), complex(cos))
+    if gate == "rx":
+        theta = params[0]
+        cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+        return (complex(cos), complex(0, -sin), complex(0, -sin), complex(cos))
+    if gate == "u1":
+        return (1 + 0j, 0j, 0j, cmath.exp(1j * params[0]))
+    if gate == "u3":
+        theta, phi, lam = params
+        cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+        return (
+            complex(cos),
+            -cmath.exp(1j * lam) * sin,
+            cmath.exp(1j * phi) * sin,
+            cmath.exp(1j * (phi + lam)) * cos,
+        )
+    if gate == "u2":
+        phi, lam = params
+        return (
+            complex(_INV_SQRT2),
+            -_INV_SQRT2 * cmath.exp(1j * lam),
+            _INV_SQRT2 * cmath.exp(1j * phi),
+            _INV_SQRT2 * cmath.exp(1j * (phi + lam)),
+        )
+    if gate == "sx":
+        return (0.5 + 0.5j, 0.5 - 0.5j, 0.5 - 0.5j, 0.5 + 0.5j)
+    if gate == "x":
+        return (0j, 1 + 0j, 1 + 0j, 0j)
+    matrix = gate_matrix(gate, params)
+    return (
+        complex(matrix[0, 0]),
+        complex(matrix[0, 1]),
+        complex(matrix[1, 0]),
+        complex(matrix[1, 1]),
+    )
+
+
+def _fast_u3_angles(m00, m01, m10, m11) -> Tuple[float, float, float]:
+    """Scalar mirror of :func:`u3_angles_from_matrix`."""
+    abs00 = abs(m00)
+    abs10 = abs(m10)
+    theta = 2.0 * math.atan2(abs10, abs00)
+    if abs10 < 1e-12:
+        alpha = cmath.phase(m00)
+        lam = cmath.phase(m11) - alpha
+        return (0.0, 0.0, _normalize_angle(lam))
+    if abs00 < 1e-12:
+        alpha = cmath.phase(-m01)
+        phi = cmath.phase(m10) - alpha
+        return (math.pi, _normalize_angle(phi), 0.0)
+    alpha = cmath.phase(m00)
+    phi = cmath.phase(m10) - alpha
+    lam = cmath.phase(-m01) - alpha
+    return (theta, _normalize_angle(phi), _normalize_angle(lam))
+
+
+def _fast_decompose_u3(qubit: int, theta: float, phi: float, lam: float) -> List[Tuple]:
+    """Tuple-level mirror of :func:`decompose_u3`."""
+    if _is_zero_angle(theta):
+        merged = _normalize_angle(phi + lam)
+        if _is_zero_angle(merged):
+            return []
+        return [("rz", (qubit,), (merged,))]
+    sequence: List[Tuple] = []
+    if not _is_zero_angle(lam):
+        sequence.append(("rz", (qubit,), (_normalize_angle(lam),)))
+    sequence.append(("sx", (qubit,), ()))
+    sequence.append(("rz", (qubit,), (_normalize_angle(theta + math.pi),)))
+    sequence.append(("sx", (qubit,), ()))
+    if not _is_zero_angle(phi + math.pi):
+        sequence.append(("rz", (qubit,), (_normalize_angle(phi + math.pi),)))
+    return sequence
+
+
+def _fast_decompose_single_qubit(
+    gate: str, qubit: int, params: Tuple[float, ...]
+) -> List[Tuple]:
+    """Tuple-level mirror of :func:`_decompose_single_qubit`."""
+    if gate in ("rz", "x", "sx"):
+        if gate == "rz" and _is_zero_angle(params[0]):
+            return []
+        return [(gate, (qubit,), params)]
+    if gate == "i":
+        return []
+    if gate == "u3":
+        theta, phi, lam = params
+        return _fast_decompose_u3(qubit, theta, phi, lam)
+    theta, phi, lam = _fast_u3_angles(*_fast_1q_scalars(gate, params))
+    return _fast_decompose_u3(qubit, theta, phi, lam)
+
+
+def _fast_instruction(gate: str, qubits: Tuple[int, ...], params: Tuple) -> Instruction:
+    """Build an :class:`Instruction` without re-validating.
+
+    Template slots were validated when the structure was compiled; re-running
+    ``__post_init__`` (gate registry lookups, arity checks) per binding would
+    dominate bind time.
+    """
+    instruction = object.__new__(Instruction)
+    object.__setattr__(instruction, "gate", gate)
+    object.__setattr__(instruction, "qubits", qubits)
+    object.__setattr__(instruction, "params", params)
+    return instruction
+
+
+# ---------------------------------------------------------------------------
+# Symbolic IR
+# ---------------------------------------------------------------------------
+
+
+class _SymbolicInstruction:
+    """An instruction whose parameters are angle expressions.
+
+    ``sources`` tracks provenance for the run re-synthesis of optimization
+    level 2: the original (pre-decomposition) single-qubit gates whose
+    unitaries this instruction carries.  Decomposition emits pieces whose
+    source is the piece itself; RZ merging concatenates the sources of both
+    operands.  A run's product over its deduplicated sources equals the
+    concrete pipeline's product over the decomposed pieces up to a global
+    phase, which the U3 extraction is invariant to — and unlike the pieces,
+    the sources do not reorder when a rotation angle changes sign.
+    """
+
+    __slots__ = ("gate", "qubits", "params", "sources")
+
+    def __init__(
+        self,
+        gate: str,
+        qubits: Sequence[int],
+        params: Tuple = (),
+        sources: Optional[Tuple] = None,
+    ) -> None:
+        self.gate = canonical_name(gate)
+        self.qubits = tuple(int(q) for q in qubits)
+        self.params = tuple(params)
+        self.sources = (self,) if sources is None else sources
+
+    @property
+    def is_two_qubit(self) -> bool:
+        return len(self.qubits) == 2
+
+    def is_const(self) -> bool:
+        return all(p.is_const for p in self.params)
+
+    def const_params(self) -> Tuple[float, ...]:
+        return tuple(p.const for p in self.params)
+
+
+class _SymbolicCircuit(QuantumCircuit):
+    """A :class:`QuantumCircuit` that stores symbolic instructions.
+
+    Routing builds its output through ``type(circuit)``, so handing this class
+    to :func:`route_circuit` (and to the layout passes, which only read gate
+    names and qubits) reuses the concrete code paths verbatim.
+    """
+
+    def add(self, gate, qubits, params=()):  # type: ignore[override]
+        return self.append(_SymbolicInstruction(gate, qubits, params))
+
+
+def _wrap_concrete(instructions: Sequence[Instruction]) -> List[_SymbolicInstruction]:
+    """Re-wrap concrete instructions as symbolic ones with constant angles."""
+    return [
+        _SymbolicInstruction(
+            inst.gate, inst.qubits, tuple(_Affine.constant(p) for p in inst.params)
+        )
+        for inst in instructions
+    ]
+
+
+def _to_concrete(inst: _SymbolicInstruction) -> Instruction:
+    return Instruction(inst.gate, inst.qubits, inst.const_params())
+
+
+# ---------------------------------------------------------------------------
+# Replay nodes and trace state
+# ---------------------------------------------------------------------------
+
+
+class _ReplayNode:
+    """A value-dependent compile step re-executed concretely at bind time.
+
+    ``kind == "single"`` replays :func:`_decompose_single_qubit` for one
+    parametric gate (RX/RY/U1/U2/... go through matrix-based U3 extraction,
+    which is not affine in the angle).  ``kind == "run"`` replays the
+    single-qubit-run re-synthesis of optimization level 2: multiply the run's
+    2x2 matrices, extract U3 angles, re-emit through ``decompose_u3``.
+    """
+
+    __slots__ = ("kind", "qubit", "inputs", "signature", "plan")
+
+    def __init__(
+        self,
+        kind: str,
+        qubit: int,
+        inputs: Sequence[Tuple[str, Tuple[int, ...], Tuple]],
+    ) -> None:
+        self.kind = kind
+        self.qubit = qubit
+        self.inputs = tuple(inputs)
+        self.signature: Tuple = ()
+        #: bind-time evaluation plan (built by the template finalizer):
+        #: constant inputs become precomputed scalar matrices, parametric
+        #: inputs stay as (gate, exprs) pairs
+        self.plan: Optional[List] = None
+
+    def prepare(self) -> None:
+        if self.kind != "run":
+            return
+        plan: List = []
+        for gate, _qubits, exprs in self.inputs:
+            if all(isinstance(e, _Affine) and e.is_const for e in exprs):
+                plan.append(_fast_1q_scalars(gate, tuple(e.const for e in exprs)))
+            else:
+                plan.append((gate, exprs))
+        self.plan = plan
+
+    def emit(self, ctx: _BindContext) -> List[Tuple]:
+        """Emitted ``(gate, qubits, params)`` tuples for one binding."""
+        if self.kind == "single":
+            gate, qubits, exprs = self.inputs[0]
+            params = tuple(expr.evaluate(ctx) for expr in exprs)
+            return _fast_decompose_single_qubit(gate, qubits[0], params)
+        # run: multiply the sources' 2x2 matrices (last gate leftmost), then
+        # re-emit through the U3 extraction — exactly the concrete
+        # resynthesize_single_qubit_runs flush, minus a global phase
+        plan = self.plan
+        if plan is None:
+            plan = [
+                (gate, exprs)
+                for gate, _qubits, exprs in self.inputs
+            ]
+        m00, m01, m10, m11 = (1 + 0j, 0j, 0j, 1 + 0j)
+        for entry in plan:
+            if len(entry) == 4:
+                g00, g01, g10, g11 = entry
+            else:
+                gate, exprs = entry
+                params = tuple(expr.evaluate(ctx) for expr in exprs)
+                g00, g01, g10, g11 = _fast_1q_scalars(gate, params)
+            m00, m01, m10, m11 = (
+                g00 * m00 + g01 * m10,
+                g00 * m01 + g01 * m11,
+                g10 * m00 + g11 * m10,
+                g10 * m01 + g11 * m11,
+            )
+        theta, phi, lam = _fast_u3_angles(m00, m01, m10, m11)
+        return _fast_decompose_u3(self.qubit, theta, phi, lam)
+
+    def replay(self, ctx: _BindContext) -> None:
+        emitted = self.emit(ctx)
+        signature = tuple((gate, qubits) for gate, qubits, _params in emitted)
+        if signature != self.signature:
+            raise ParametricBindMismatch(
+                f"replay node ({self.kind}, qubit {self.qubit}) emitted "
+                f"{signature}, template recorded {self.signature}"
+            )
+        ctx.node_outputs[id(self)] = tuple(
+            param for _gate, _qubits, params in emitted for param in params
+        )
+
+
+class _Guard:
+    """A recorded branch decision: ``is_zero(expr)`` must equal ``zero``."""
+
+    __slots__ = ("expr", "zero")
+
+    def __init__(self, expr, zero: bool) -> None:
+        self.expr = expr
+        self.zero = zero
+
+    def check(self, ctx: _BindContext) -> None:
+        if _is_zero_angle(self.expr.evaluate(ctx)) != self.zero:
+            raise ParametricBindMismatch(
+                "angle crossed a zero-branch point recorded at compile time"
+            )
+
+
+class _EmissionGuard:
+    """Presence guard for a single-qubit gate deferred at optimization >= 2.
+
+    Deferred gates stay undecomposed until run re-synthesis absorbs them, so
+    only the *emptiness* of their concrete decomposition is structurally
+    load-bearing (it decides whether the gate blocks a CX cancellation).
+    Emptiness — unlike the emitted gate order — does not flip when the angle
+    changes sign, which is what keeps templates stable across samples.
+    """
+
+    __slots__ = ("gate", "qubits", "params", "empty")
+
+    #: an empty emission of these gates requires the (single) angle to be a
+    #: multiple of 2*pi — a distance safely above the decomposition tolerances
+    #: proves the emission is non-empty without re-running the decomposition
+    _PERIODIC_1P = frozenset(("rx", "ry", "rz", "u1"))
+
+    def __init__(self, gate: str, qubits, params, empty: bool) -> None:
+        self.gate = gate
+        self.qubits = qubits
+        self.params = params
+        self.empty = empty
+
+    def check(self, ctx: _BindContext) -> None:
+        if not self.empty and self.gate in self._PERIODIC_1P:
+            angle = self.params[0].evaluate(ctx)
+            wrapped = abs(math.fmod(angle, 2.0 * math.pi))
+            if 1e-6 < min(wrapped, 2.0 * math.pi - wrapped):
+                return
+        emitted = _fast_decompose_single_qubit(
+            self.gate,
+            self.qubits[0],
+            tuple(expr.evaluate(ctx) for expr in self.params),
+        )
+        if (len(emitted) == 0) != self.empty:
+            raise ParametricBindMismatch(
+                "deferred gate crossed the identity-emission branch"
+            )
+
+
+class _TraceState:
+    """Witness context plus the guards/nodes accumulated for one layout."""
+
+    def __init__(self, witness: np.ndarray, defer_single: bool = False) -> None:
+        self.ctx = _BindContext(witness)
+        self.guards: List = []
+        self.nodes: List[_ReplayNode] = []
+        #: at optimization >= 2 non-affine 1q gates are deferred (see
+        #: :class:`_EmissionGuard`) instead of replayed piece-for-piece
+        self.defer_single = defer_single
+
+    def is_zero(self, expr) -> bool:
+        verdict = _is_zero_angle(expr.evaluate(self.ctx))
+        if not expr.is_const:
+            self.guards.append(_Guard(expr, verdict))
+        return verdict
+
+    def defer(self, inst: "_SymbolicInstruction") -> List["_SymbolicInstruction"]:
+        emitted = _fast_decompose_single_qubit(
+            inst.gate,
+            inst.qubits[0],
+            tuple(expr.evaluate(self.ctx) for expr in inst.params),
+        )
+        self.guards.append(
+            _EmissionGuard(inst.gate, inst.qubits, inst.params, not emitted)
+        )
+        return [] if not emitted else [inst]
+
+    def _register(self, node: _ReplayNode) -> List[_SymbolicInstruction]:
+        emitted = node.emit(self.ctx)
+        node.signature = tuple((gate, qubits) for gate, qubits, _params in emitted)
+        self.ctx.node_outputs[id(node)] = tuple(
+            param for _gate, _qubits, params in emitted for param in params
+        )
+        self.nodes.append(node)
+        out: List[_SymbolicInstruction] = []
+        flat = 0
+        for gate, qubits, params in emitted:
+            exprs = tuple(
+                _NodeAngle(node, flat + position)
+                for position in range(len(params))
+            )
+            flat += len(params)
+            out.append(_SymbolicInstruction(gate, qubits, exprs))
+        return out
+
+    def replay_single(self, inst: _SymbolicInstruction) -> List[_SymbolicInstruction]:
+        node = _ReplayNode(
+            "single", inst.qubits[0], [(inst.gate, inst.qubits, inst.params)]
+        )
+        return self._register(node)
+
+    def replay_run(
+        self, qubit: int, run: Sequence[_SymbolicInstruction]
+    ) -> List[_SymbolicInstruction]:
+        node = _ReplayNode(
+            "run", qubit, [(i.gate, i.qubits, i.params) for i in run]
+        )
+        return self._register(node)
+
+
+# ---------------------------------------------------------------------------
+# Symbolic decomposition (mirrors repro.transpile.decompose)
+# ---------------------------------------------------------------------------
+
+
+def _symbolic_decompose_u3(
+    trace: _TraceState, qubit: int, theta, phi, lam
+) -> List[_SymbolicInstruction]:
+    """Mirror of :func:`decompose_u3` over expressions.
+
+    Angle normalization is skipped — the emitted angles may differ from the
+    concrete pipeline's by multiples of ``2*pi`` (a global phase); the
+    zero-angle predicates wrap modulo ``2*pi`` themselves, so the *branches*
+    agree exactly.
+    """
+    if trace.is_zero(theta):
+        merged = _add_exprs(phi, lam)
+        if trace.is_zero(merged):
+            return []
+        return [_SymbolicInstruction("rz", (qubit,), (merged,))]
+    sequence: List[_SymbolicInstruction] = []
+    if not trace.is_zero(lam):
+        sequence.append(_SymbolicInstruction("rz", (qubit,), (lam,)))
+    sequence.append(_SymbolicInstruction("sx", (qubit,)))
+    sequence.append(_SymbolicInstruction("rz", (qubit,), (theta.shift(_PI),)))
+    sequence.append(_SymbolicInstruction("sx", (qubit,)))
+    phi_shifted = phi.shift(_PI)
+    if not trace.is_zero(phi_shifted):
+        sequence.append(_SymbolicInstruction("rz", (qubit,), (phi_shifted,)))
+    return sequence
+
+
+def _symbolic_decompose_single_qubit(
+    trace: _TraceState, inst: _SymbolicInstruction
+) -> List[_SymbolicInstruction]:
+    """Mirror of :func:`_decompose_single_qubit` over expressions."""
+    if inst.is_const():
+        return _wrap_concrete(_decompose_single_qubit(_to_concrete(inst)))
+    if inst.gate == "rz":
+        if trace.is_zero(inst.params[0]):
+            return []
+        return [inst]
+    if inst.gate == "u3":
+        theta, phi, lam = inst.params
+        return _symbolic_decompose_u3(trace, inst.qubits[0], theta, phi, lam)
+    # RX/RY/U1/U2/...: the concrete pipeline extracts U3 angles from the gate
+    # matrix, which is not affine in the angle.  At optimization >= 2 the gate
+    # is deferred whole (run re-synthesis will absorb it into a product over
+    # sources); below that, its decomposition is replayed at bind time.
+    if trace.defer_single:
+        return trace.defer(inst)
+    return trace.replay_single(inst)
+
+
+def _symbolic_two_qubit_rule(
+    inst: _SymbolicInstruction,
+) -> Optional[List[_SymbolicInstruction]]:
+    """Mirror of :func:`_two_qubit_rules` with affine parameter arithmetic."""
+    gate = inst.gate
+    a, b = inst.qubits
+    params = inst.params
+
+    def sym(name: str, qubits: Tuple[int, ...], exprs: Tuple = ()):
+        return _SymbolicInstruction(name, qubits, exprs)
+
+    cx = lambda c, t: sym("cx", (c, t))  # noqa: E731
+    h = lambda q: sym("h", (q,))  # noqa: E731
+
+    if gate == "cx":
+        return [inst]
+    if gate == "cz":
+        return [h(b), cx(a, b), h(b)]
+    if gate == "cy":
+        return [sym("sdg", (b,)), cx(a, b), sym("s", (b,))]
+    if gate == "swap":
+        return [cx(a, b), cx(b, a), cx(a, b)]
+    if gate == "rzz":
+        (theta,) = params
+        return [cx(a, b), sym("rz", (b,), (theta,)), cx(a, b)]
+    if gate == "rzx":
+        (theta,) = params
+        return [h(b), cx(a, b), sym("rz", (b,), (theta,)), cx(a, b), h(b)]
+    if gate == "rxx":
+        (theta,) = params
+        return [
+            h(a), h(b), cx(a, b), sym("rz", (b,), (theta,)), cx(a, b), h(a), h(b),
+        ]
+    if gate == "ryy":
+        (theta,) = params
+        half_pi = _Affine.constant(_PI / 2)
+        neg_half_pi = _Affine.constant(-_PI / 2)
+        return [
+            sym("rx", (a,), (half_pi,)),
+            sym("rx", (b,), (half_pi,)),
+            cx(a, b),
+            sym("rz", (b,), (theta,)),
+            cx(a, b),
+            sym("rx", (a,), (neg_half_pi,)),
+            sym("rx", (b,), (neg_half_pi,)),
+        ]
+    if gate == "crz":
+        (lam,) = params
+        return [
+            sym("rz", (b,), (lam.scale(0.5),)),
+            cx(a, b),
+            sym("rz", (b,), (lam.scale(-0.5),)),
+            cx(a, b),
+        ]
+    if gate == "cry":
+        (theta,) = params
+        return [
+            sym("ry", (b,), (theta.scale(0.5),)),
+            cx(a, b),
+            sym("ry", (b,), (theta.scale(-0.5),)),
+            cx(a, b),
+        ]
+    if gate == "crx":
+        (theta,) = params
+        return [
+            h(b),
+            sym("rz", (b,), (theta.scale(0.5),)),
+            cx(a, b),
+            sym("rz", (b,), (theta.scale(-0.5),)),
+            cx(a, b),
+            h(b),
+        ]
+    if gate == "cu1":
+        (lam,) = params
+        return [
+            sym("u1", (a,), (lam.scale(0.5),)),
+            cx(a, b),
+            sym("u1", (b,), (lam.scale(-0.5),)),
+            cx(a, b),
+            sym("u1", (b,), (lam.scale(0.5),)),
+        ]
+    if gate == "cu3":
+        theta, phi, lam = params
+        zero = _Affine.constant(0.0)
+        return [
+            sym("u1", (a,), (_add_exprs(lam, phi).scale(0.5),)),
+            sym("u1", (b,), (_add_exprs(lam, phi.scale(-1.0)).scale(0.5),)),
+            cx(a, b),
+            sym(
+                "u3",
+                (b,),
+                (theta.scale(-0.5), zero, _add_exprs(phi, lam).scale(-0.5)),
+            ),
+            cx(a, b),
+            sym("u3", (b,), (theta.scale(0.5), phi, zero)),
+        ]
+    return None
+
+
+def _symbolic_decompose_instruction(
+    trace: _TraceState, inst: _SymbolicInstruction
+) -> List[_SymbolicInstruction]:
+    """Mirror of :func:`decompose_instruction` over expressions."""
+    if inst.is_const():
+        return _wrap_concrete(decompose_instruction(_to_concrete(inst)))
+    if len(inst.qubits) == 1:
+        return _symbolic_decompose_single_qubit(trace, inst)
+    rule = _symbolic_two_qubit_rule(inst)
+    if rule is None:
+        return [inst]
+    out: List[_SymbolicInstruction] = []
+    for item in rule:
+        if len(item.qubits) == 1 and item.gate not in BASIS_GATES:
+            out.extend(_symbolic_decompose_single_qubit(trace, item))
+        elif (
+            len(item.qubits) == 1
+            and item.gate == "rz"
+            and trace.is_zero(item.params[0])
+        ):
+            continue
+        else:
+            out.append(item)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Symbolic optimization passes (mirror repro.transpile.passes)
+# ---------------------------------------------------------------------------
+
+
+def _symbolic_merge_adjacent_rz(
+    trace: _TraceState, instructions: List[_SymbolicInstruction]
+) -> List[_SymbolicInstruction]:
+    out: List[_SymbolicInstruction] = []
+    for inst in instructions:
+        if inst.gate == "rz":
+            previous = _last_touching(out, inst.qubits)
+            if (
+                previous is not None
+                and out[previous].gate == "rz"
+                and out[previous].qubits == inst.qubits
+            ):
+                merged = _add_exprs(out[previous].params[0], inst.params[0])
+                merged_sources = out[previous].sources + inst.sources
+                out.pop(previous)
+                if not trace.is_zero(merged):
+                    out.append(
+                        _SymbolicInstruction(
+                            "rz", inst.qubits, (merged,), sources=merged_sources
+                        )
+                    )
+                continue
+            if trace.is_zero(inst.params[0]):
+                continue
+        out.append(inst)
+    return out
+
+
+_ROTATION_GATES = {
+    "rx", "ry", "rz", "u1", "rzz", "rxx", "ryy", "rzx",
+    "crx", "cry", "crz", "cu1",
+}
+
+
+def _symbolic_drop_identity_rotations(
+    trace: _TraceState, instructions: List[_SymbolicInstruction]
+) -> List[_SymbolicInstruction]:
+    out: List[_SymbolicInstruction] = []
+    for inst in instructions:
+        if inst.gate in _ROTATION_GATES and all(
+            trace.is_zero(p) for p in inst.params
+        ):
+            continue
+        if inst.gate in ("u3", "cu3") and all(
+            trace.is_zero(p) for p in inst.params
+        ):
+            continue
+        out.append(inst)
+    return out
+
+
+def _symbolic_resynthesize_single_qubit_runs(
+    trace: _TraceState, instructions: List[_SymbolicInstruction]
+) -> List[_SymbolicInstruction]:
+    pending: Dict[int, List[_SymbolicInstruction]] = {}
+    out: List[_SymbolicInstruction] = []
+
+    def flush(qubit: int) -> None:
+        run = pending.pop(qubit, None)
+        if run is None:
+            return
+        if all(inst.is_const() for inst in run):
+            # constant run: multiply the decomposed pieces exactly like the
+            # concrete pass does
+            matrix = np.eye(2, dtype=complex)
+            for inst in run:
+                matrix = gate_matrix(inst.gate, inst.const_params()) @ matrix
+            theta, phi, lam = u3_angles_from_matrix(matrix)
+            out.extend(_wrap_concrete(decompose_u3(qubit, theta, phi, lam)))
+        else:
+            # parametric run: replay the product over the run's *sources* (the
+            # original pre-decomposition gates, deduplicated in stream order).
+            # The product equals the concrete piece product up to a global
+            # phase, and its branch structure is stable under sign flips of
+            # individual rotation angles — unlike the pieces themselves.
+            sources: List[_SymbolicInstruction] = []
+            seen: set = set()
+            for inst in run:
+                for source in inst.sources:
+                    if id(source) not in seen:
+                        seen.add(id(source))
+                        sources.append(source)
+            out.extend(trace.replay_run(qubit, sources))
+
+    for inst in instructions:
+        if len(inst.qubits) == 1:
+            pending.setdefault(inst.qubits[0], []).append(inst)
+        else:
+            for qubit in inst.qubits:
+                flush(qubit)
+            out.append(inst)
+    for qubit in sorted(pending):
+        flush(qubit)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The compiled template
+# ---------------------------------------------------------------------------
+
+
+def _stream_depth(instructions: Sequence, n_qubits: int) -> int:
+    frontier = [0] * n_qubits
+    for inst in instructions:
+        level = max(frontier[q] for q in inst.qubits) + 1
+        for qubit in inst.qubits:
+            frontier[qubit] = level
+    return max(frontier) if frontier else 0
+
+
+class _LayoutCandidate:
+    """One fully traced compilation for one initial layout."""
+
+    __slots__ = ("stream", "trace", "routed")
+
+    def __init__(self, stream, trace, routed) -> None:
+        self.stream = stream
+        self.trace = trace
+        self.routed = routed
+
+    def sort_key(self, n_qubits: int) -> Tuple[int, int]:
+        n_two_qubit = sum(1 for inst in self.stream if len(inst.qubits) == 2)
+        return (n_two_qubit, _stream_depth(self.stream, n_qubits))
+
+
+class ParametricCompiledCircuit:
+    """A compiled circuit structure awaiting parameter values.
+
+    Produced by :func:`parametric_transpile`; :meth:`bind` yields a
+    :class:`CompiledCircuit` identical (up to ``2*pi`` angle wraps) to a fresh
+    concrete transpile of the bound circuit, or raises
+    :class:`ParametricBindMismatch` when the binding crosses a branch point
+    recorded at compile time.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        initial_layout: Dict[int, int],
+        final_layout: Dict[int, int],
+        used_qubits: Tuple[int, ...],
+        num_swaps: int,
+        optimization_level: int,
+        n_weights: int,
+        n_features: int,
+        chosen: _LayoutCandidate,
+        auxiliary: Optional[_LayoutCandidate] = None,
+    ) -> None:
+        self.device = device
+        self.initial_layout = dict(initial_layout)
+        self.final_layout = dict(final_layout)
+        self.used_qubits = tuple(used_qubits)
+        self.num_swaps = int(num_swaps)
+        self.optimization_level = int(optimization_level)
+        self.n_weights = int(n_weights)
+        self.n_features = int(n_features)
+        self._nodes = tuple(chosen.trace.nodes)
+        # at optimization level 3 the losing layout's branches must stay
+        # stable too, or a different binding could flip the layout choice
+        self._aux_nodes = tuple(auxiliary.trace.nodes) if auxiliary else ()
+
+        # -- vectorized affine evaluation plan -------------------------------
+        # Every affine expression referenced by a slot, guard or replay-node
+        # input becomes one row of a dense (rows x params) matrix; a bind is
+        # then one matvec plus scalar work for the few non-affine expressions.
+        affine_exprs: List[_Affine] = []
+        affine_index: Dict[int, int] = {}
+
+        def row_of(expr: _Affine) -> int:
+            position = affine_index.get(id(expr))
+            if position is None:
+                position = len(affine_exprs)
+                affine_index[id(expr)] = position
+                affine_exprs.append(expr)
+            return position
+
+        def plan_param(expr):
+            if isinstance(expr, _Affine):
+                return row_of(expr)
+            return expr  # _NodeAngle / _Sum, evaluated per binding
+
+        guard_rows: List[int] = []
+        guard_expected: List[bool] = []
+        self._other_guards: List = []
+        for guard in tuple(chosen.trace.guards) + (
+            tuple(auxiliary.trace.guards) if auxiliary else ()
+        ):
+            if isinstance(guard, _Guard) and isinstance(guard.expr, _Affine):
+                guard_rows.append(row_of(guard.expr))
+                guard_expected.append(guard.zero)
+            else:
+                self._other_guards.append(guard)
+
+        def wrap_node_expr(expr):
+            if isinstance(expr, _Affine) and not expr.is_const:
+                return _RowExpr(row_of(expr), expr)
+            return expr
+
+        for node in self._nodes + self._aux_nodes:
+            node.inputs = tuple(
+                (gate, qubits, tuple(wrap_node_expr(expr) for expr in exprs))
+                for gate, qubits, exprs in node.inputs
+            )
+            node.prepare()
+
+        self._slots: List = []
+        self._reduced_slots: List = []
+        index = {phys: i for i, phys in enumerate(self.used_qubits)}
+        for inst in chosen.stream:
+            reduced_qubits = tuple(index[q] for q in inst.qubits)
+            if inst.is_const():
+                params = inst.const_params()
+                self._slots.append(Instruction(inst.gate, inst.qubits, params))
+                self._reduced_slots.append(
+                    Instruction(inst.gate, reduced_qubits, params)
+                )
+            else:
+                plan = tuple(plan_param(expr) for expr in inst.params)
+                self._slots.append((inst.gate, inst.qubits, plan))
+                self._reduced_slots.append((inst.gate, reduced_qubits, plan))
+
+        width = self.n_weights + self.n_features
+        self._width = width
+        if affine_exprs:
+            matrix = np.zeros((len(affine_exprs), width))
+            const = np.empty(len(affine_exprs))
+            for position, expr in enumerate(affine_exprs):
+                const[position] = expr.const
+                for param_index, coeff in expr.terms:
+                    matrix[position, param_index] += coeff
+            self._affine_matrix: Optional[np.ndarray] = matrix
+            self._affine_const: Optional[np.ndarray] = const
+        else:
+            self._affine_matrix = None
+            self._affine_const = None
+        self._guard_rows = np.asarray(guard_rows, dtype=np.intp)
+        self._guard_expected = np.asarray(guard_expected, dtype=bool)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self._slots)
+
+    @property
+    def num_parametric_slots(self) -> int:
+        return sum(1 for slot in self._slots if not isinstance(slot, Instruction))
+
+    @property
+    def num_guards(self) -> int:
+        return int(self._guard_rows.size) + len(self._other_guards)
+
+    @property
+    def num_replay_nodes(self) -> int:
+        return len(self._nodes) + len(self._aux_nodes)
+
+    def expected_params(self) -> int:
+        """Minimum length of the ``values`` vector accepted by :meth:`bind`."""
+        return self.n_weights + self.n_features
+
+    # -- binding -------------------------------------------------------------
+
+    def bind(self, values: np.ndarray) -> CompiledCircuit:
+        """Fill the template with parameter values (weights then features)."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.shape[0] < self._width:
+            raise ValueError(
+                f"expected at least {self._width} parameter values "
+                f"(got {values.shape[0]})"
+            )
+        if self._affine_matrix is not None:
+            affine = self._affine_matrix @ values[: self._width]
+            affine += self._affine_const
+        else:
+            affine = None
+        ctx = _BindContext(values, affine)
+        for node in self._nodes:
+            node.replay(ctx)
+        for node in self._aux_nodes:
+            node.replay(ctx)
+        if self._guard_rows.size:
+            # vectorized mirror of _is_zero_angle: distance to the nearest
+            # multiple of 2*pi below the shared 1e-9 tolerance
+            wrapped = np.abs(
+                np.mod(affine[self._guard_rows] + math.pi, 2.0 * math.pi)
+                - math.pi
+            )
+            if not np.array_equal(wrapped < 1e-9, self._guard_expected):
+                raise ParametricBindMismatch(
+                    "angle crossed a zero-branch point recorded at compile time"
+                )
+        for guard in self._other_guards:
+            guard.check(ctx)
+
+        instructions: List[Instruction] = []
+        reduced_instructions: List[Instruction] = []
+        append = instructions.append
+        reduced_append = reduced_instructions.append
+        for slot, reduced_slot in zip(self._slots, self._reduced_slots):
+            if type(slot) is Instruction:
+                append(slot)
+                reduced_append(reduced_slot)
+            else:
+                gate, qubits, plan = slot
+                params = tuple(
+                    affine[item] if type(item) is int else item.evaluate(ctx)
+                    for item in plan
+                )
+                append(_fast_instruction(gate, qubits, params))
+                reduced_append(_fast_instruction(gate, reduced_slot[1], params))
+
+        physical = QuantumCircuit(self.device.n_qubits)
+        physical.instructions = instructions
+        reduced = QuantumCircuit(max(len(self.used_qubits), 1))
+        reduced.instructions = reduced_instructions
+        compiled = CompiledCircuit(
+            circuit=physical,
+            device=self.device,
+            initial_layout=dict(self.initial_layout),
+            final_layout=dict(self.final_layout),
+            used_qubits=self.used_qubits,
+            num_swaps=self.num_swaps,
+        )
+        compiled._reduced = (reduced, self.used_qubits)
+        return compiled
+
+    def try_bind(self, values: np.ndarray) -> Optional[CompiledCircuit]:
+        """Like :meth:`bind`, but returns ``None`` on a branch mismatch."""
+        try:
+            return self.bind(values)
+        except ParametricBindMismatch:
+            return None
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints and entry points
+# ---------------------------------------------------------------------------
+
+
+def parametric_fingerprint(circuit: ParameterizedCircuit) -> Tuple:
+    """Hashable fingerprint of a circuit *structure* (values left unbound)."""
+    return (
+        circuit.n_qubits,
+        circuit.num_weights,
+        tuple(
+            (
+                op.gate,
+                op.qubits,
+                tuple((slot.kind, slot.value) for slot in op.slots),
+            )
+            for op in circuit.ops
+        ),
+    )
+
+
+def num_feature_params(circuit: ParameterizedCircuit) -> int:
+    """Size of the feature block of the parameter vector (0 if no encoder)."""
+    highest = -1
+    for op in circuit.ops:
+        for slot in op.slots:
+            if slot.kind == "input":
+                highest = max(highest, int(slot.value))
+    return highest + 1
+
+
+def _symbolic_logical_circuit(circuit: ParameterizedCircuit) -> _SymbolicCircuit:
+    """The logical circuit with parameter slots lifted to affine expressions.
+
+    The parameter vector is the concatenation of the trainable weight vector
+    and the per-sample feature vector, in that order.
+    """
+    n_weights = circuit.num_weights
+    symbolic = _SymbolicCircuit(circuit.n_qubits)
+    for op in circuit.ops:
+        exprs: List[_Affine] = []
+        for slot in op.slots:
+            if slot.kind == "const":
+                exprs.append(_Affine.constant(slot.value))
+            elif slot.kind == "weight":
+                exprs.append(_Affine.parameter(int(slot.value)))
+            else:  # input feature
+                exprs.append(_Affine.parameter(n_weights + int(slot.value)))
+        symbolic.append(_SymbolicInstruction(op.gate, op.qubits, tuple(exprs)))
+    return symbolic
+
+
+def _default_witness(n_params: int, seed: Optional[int]) -> np.ndarray:
+    """Generic (nowhere-zero, irrational-looking) witness angles."""
+    rng = np.random.default_rng(0x5EED if seed is None else seed)
+    return rng.uniform(0.3, 2.8, size=max(n_params, 1))
+
+
+def parametric_transpile(
+    circuit: ParameterizedCircuit,
+    device: Device,
+    initial_layout: LayoutSpec = None,
+    optimization_level: int = 2,
+    seed: Optional[int] = None,
+    witness_values: Optional[np.ndarray] = None,
+) -> ParametricCompiledCircuit:
+    """Compile a circuit structure once; re-bind angles in O(params).
+
+    Mirrors :func:`repro.transpile.compiler.transpile` stage for stage (same
+    layout resolution, routing, decomposition and optimization passes, and —
+    given the same ``seed`` — the same SABRE draws at level 3), but runs them
+    over symbolic angles.  ``witness_values`` selects the compile-time
+    branches; bindings that take the same branches (the overwhelmingly common
+    case for generic angles) bind exactly, the rest raise
+    :class:`ParametricBindMismatch` from :meth:`ParametricCompiledCircuit.bind`.
+    """
+    if not 0 <= optimization_level <= 3:
+        raise ValueError("optimization_level must be between 0 and 3")
+    rng = ensure_rng(seed)
+    n_weights = circuit.num_weights
+    n_features = num_feature_params(circuit)
+    if witness_values is None:
+        witness = _default_witness(n_weights + n_features, seed)
+    else:
+        witness = np.asarray(witness_values, dtype=float).ravel()
+        if witness.shape[0] < n_weights + n_features:
+            raise ValueError(
+                f"witness needs at least {n_weights + n_features} values"
+            )
+    symbolic = _symbolic_logical_circuit(circuit)
+
+    def compile_with_layout(layout) -> _LayoutCandidate:
+        trace = _TraceState(witness, defer_single=optimization_level >= 2)
+        routed = route_circuit(symbolic, device, layout)
+        stream: List[_SymbolicInstruction] = []
+        for inst in routed.circuit.instructions:
+            stream.extend(_symbolic_decompose_instruction(trace, inst))
+        if optimization_level >= 1:
+            stream = cancel_adjacent_inverse_cx_run(stream)
+            stream = _symbolic_merge_adjacent_rz(trace, stream)
+            stream = _symbolic_drop_identity_rotations(trace, stream)
+        if optimization_level >= 2:
+            stream = _symbolic_resynthesize_single_qubit_runs(trace, stream)
+            stream = cancel_adjacent_inverse_cx_run(stream)
+            stream = _symbolic_merge_adjacent_rz(trace, stream)
+        return _LayoutCandidate(stream, trace, routed)
+
+    base_layout = _resolve_layout(symbolic, device, initial_layout, rng)
+    chosen = compile_with_layout(base_layout)
+    auxiliary: Optional[_LayoutCandidate] = None
+
+    if optimization_level >= 3:
+        alternative_layout = sabre_layout(symbolic, device, n_trials=4, rng=rng)
+        alternative = compile_with_layout(alternative_layout)
+        # ``min`` keeps the first candidate on ties, exactly like transpile()
+        if alternative.sort_key(device.n_qubits) < chosen.sort_key(device.n_qubits):
+            chosen, auxiliary = alternative, chosen
+        else:
+            auxiliary = alternative
+
+    return ParametricCompiledCircuit(
+        device=device,
+        initial_layout=dict(chosen.routed.initial_layout),
+        final_layout=dict(chosen.routed.final_layout),
+        used_qubits=chosen.routed.used_qubits,
+        num_swaps=chosen.routed.num_swaps,
+        optimization_level=optimization_level,
+        n_weights=n_weights,
+        n_features=n_features,
+        chosen=chosen,
+        auxiliary=auxiliary,
+    )

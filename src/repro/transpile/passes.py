@@ -12,6 +12,7 @@ from .decompose import decompose_u3, u3_angles_from_matrix
 
 __all__ = [
     "cancel_adjacent_inverse_cx",
+    "cancel_adjacent_inverse_cx_run",
     "merge_adjacent_rz",
     "drop_identity_rotations",
     "resynthesize_single_qubit_runs",
@@ -34,11 +35,16 @@ def _last_touching(instructions: List[Instruction], qubits) -> Optional[int]:
     return None
 
 
-def cancel_adjacent_inverse_cx(circuit: QuantumCircuit) -> QuantumCircuit:
-    """Remove back-to-back identical CX (and CZ/SWAP) pairs."""
+def cancel_adjacent_inverse_cx_run(instructions: List) -> List:
+    """List-level core of :func:`cancel_adjacent_inverse_cx`.
+
+    Operates on anything instruction-shaped (``.gate``/``.qubits``), which is
+    how the parametric transpiler reuses this pass verbatim on symbolic
+    instruction streams — the pass never reads parameter values.
+    """
     self_inverse_2q = {"cx", "cz", "swap"}
-    out: List[Instruction] = []
-    for instruction in circuit.instructions:
+    out: List = []
+    for instruction in instructions:
         if instruction.gate in self_inverse_2q:
             previous = _last_touching(out, instruction.qubits)
             if previous is not None:
@@ -53,8 +59,13 @@ def cancel_adjacent_inverse_cx(circuit: QuantumCircuit) -> QuantumCircuit:
                     out.pop(previous)
                     continue
         out.append(instruction)
+    return out
+
+
+def cancel_adjacent_inverse_cx(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove back-to-back identical CX (and CZ/SWAP) pairs."""
     result = QuantumCircuit(circuit.n_qubits)
-    result.extend(out)
+    result.extend(cancel_adjacent_inverse_cx_run(circuit.instructions))
     return result
 
 

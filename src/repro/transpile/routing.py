@@ -47,7 +47,11 @@ def route_circuit(
             raise ValueError(f"initial layout is missing logical qubit {logical}")
     physical_to_logical = {p: l for l, p in logical_to_physical.items()}
 
-    routed = QuantumCircuit(device.n_qubits)
+    # The routed circuit is built through the input's class so that IR
+    # variants (e.g. the parametric transpiler's symbolic circuits, whose
+    # parameters are expressions instead of floats) route through the exact
+    # same code path as concrete circuits.
+    routed = type(circuit)(device.n_qubits)
     num_swaps = 0
     used: set[int] = set(logical_to_physical.values())
 

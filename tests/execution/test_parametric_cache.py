@@ -1,0 +1,308 @@
+"""The structure-keyed parametric transpile cache and its engine wiring.
+
+Covers the accounting contract (structure vs bind hits, variant compiles,
+fallbacks), object identity for repeated bindings, immutability of cached
+compilations across population evaluations, and the warm-start sharing of one
+cache instance between engines, pipeline stages and the deploy backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig, EvolutionEngine, get_design_space
+from repro.core.estimator import EstimatorConfig, PerformanceEstimator
+from repro.core.evolution import Candidate
+from repro.devices import QuantumBackend
+from repro.execution import ExecutionEngine, ParametricTranspileCache, TranspileCache
+from repro.transpile.compiler import transpile
+
+ATOL = 1e-9
+
+
+def structure_inputs(u3cu3_supercircuit, yorktown, seed=3):
+    space = get_design_space("u3cu3")
+    evolution = EvolutionEngine(space, 4, yorktown, EvolutionConfig(seed=seed))
+    candidate = Candidate(evolution.random_config(), evolution.random_mapping())
+    circuit, _ = u3cu3_supercircuit.build_standalone_circuit(candidate.config)
+    weights = u3cu3_supercircuit.inherited_weights(candidate.config)
+    return candidate, circuit, weights
+
+
+def test_structure_and_bind_hit_accounting(u3cu3_supercircuit, yorktown):
+    candidate, circuit, weights = structure_inputs(u3cu3_supercircuit, yorktown)
+    features = np.linspace(-1.0, 1.0, 16)
+    cache = ParametricTranspileCache()
+
+    first = cache.get_bound(circuit, weights, features, yorktown, candidate.mapping)
+    assert cache.stats.structure_misses == 1
+    assert cache.stats.bind_misses == 1
+    assert cache.stats.variants_compiled == 1
+
+    # identical binding: served from the bound LRU, identical object
+    second = cache.get_bound(circuit, weights, features, yorktown, candidate.mapping)
+    assert second is first
+    assert cache.stats.bind_hits == 1
+    assert cache.stats.structure_misses == 1
+
+    # new binding, same structure: no recompilation of the structure
+    third = cache.get_bound(
+        circuit, weights, features + 0.25, yorktown, candidate.mapping
+    )
+    assert third is not first
+    assert cache.stats.structure_misses == 1
+    assert cache.stats.structure_hits >= 1
+    assert cache.stats.bind_misses == 2
+
+    # different mapping: a different structure entry
+    other_mapping = tuple(reversed(candidate.mapping))
+    cache.get_bound(circuit, weights, features, yorktown, other_mapping)
+    assert cache.stats.structure_misses == 2
+    assert len(cache) == 2
+
+
+def test_bound_results_match_seed_pinned_transpile(u3cu3_supercircuit, yorktown):
+    candidate, circuit, weights = structure_inputs(u3cu3_supercircuit, yorktown)
+    cache = ParametricTranspileCache()
+    rng = np.random.default_rng(2)
+    for _ in range(4):
+        features = rng.uniform(-1.5, 1.5, 16)
+        compiled = cache.get_bound(
+            circuit, weights, features, yorktown, candidate.mapping
+        )
+        seed = cache.key_for(circuit, yorktown, candidate.mapping, 2)[-1]
+        fresh = transpile(
+            circuit.bind(weights, features),
+            yorktown,
+            initial_layout=candidate.mapping,
+            optimization_level=2,
+            seed=seed,
+        )
+        assert [(i.gate, i.qubits) for i in compiled.circuit.instructions] == [
+            (i.gate, i.qubits) for i in fresh.circuit.instructions
+        ]
+        assert compiled.success_rate() == pytest.approx(
+            fresh.success_rate(), abs=ATOL
+        )
+
+
+def test_branch_crossing_falls_back_then_adapts(u3cu3_supercircuit, yorktown):
+    """A one-off branch crossing is served by the exact fallback; a recurring
+    crossing pattern earns its own template variant."""
+    candidate, circuit, weights = structure_inputs(u3cu3_supercircuit, yorktown)
+    fallback = TranspileCache(maxsize=32)
+    cache = ParametricTranspileCache(
+        max_variants=4, variant_threshold=2, fallback=fallback
+    )
+
+    features = np.linspace(0.3, 1.8, 16)
+    cache.get_bound(circuit, weights, features, yorktown, candidate.mapping)
+    assert cache.stats.variants_compiled == 1
+
+    # zeroed features cross the generic witness's non-zero encoder branches;
+    # the first crossing is served exactly by the bound-key fallback
+    zeroed = np.zeros(16)
+    compiled = cache.get_bound(circuit, weights, zeroed, yorktown, candidate.mapping)
+    assert cache.stats.fallbacks == 1
+    assert fallback.stats.misses == 1
+    assert cache.stats.variants_compiled == 1
+    fresh = transpile(
+        circuit.bind(weights, zeroed),
+        yorktown,
+        initial_layout=candidate.mapping,
+        optimization_level=2,
+        seed=cache.key_for(circuit, yorktown, candidate.mapping, 2)[-1],
+    )
+    assert [(i.gate, i.qubits, i.params) for i in compiled.circuit.instructions] == [
+        (i.gate, i.qubits, i.params) for i in fresh.circuit.instructions
+    ]
+
+    # a second crossing binding reaches the variant threshold and compiles an
+    # adaptive template traced against itself — exactly, no fallback
+    zeroed_2 = np.zeros(16)
+    zeroed_2[0] = 0.7
+    adapted = cache.get_bound(circuit, weights, zeroed_2, yorktown, candidate.mapping)
+    assert cache.stats.variants_compiled == 2
+    assert cache.stats.fallbacks == 1
+    fresh_2 = transpile(
+        circuit.bind(weights, zeroed_2),
+        yorktown,
+        initial_layout=candidate.mapping,
+        optimization_level=2,
+        seed=cache.key_for(circuit, yorktown, candidate.mapping, 2)[-1],
+    )
+    assert [(i.gate, i.qubits) for i in adapted.circuit.instructions] == [
+        (i.gate, i.qubits) for i in fresh_2.circuit.instructions
+    ]
+
+    # with max_variants=1 the recurring pattern keeps using the fallback
+    capped = ParametricTranspileCache(max_variants=1, variant_threshold=1)
+    capped.get_bound(circuit, weights, features, yorktown, candidate.mapping)
+    capped.get_bound(circuit, weights, zeroed, yorktown, candidate.mapping)
+    capped.get_bound(circuit, weights, zeroed_2, yorktown, candidate.mapping)
+    assert capped.stats.variants_compiled == 1
+    assert capped.stats.fallbacks == 2
+
+
+def test_fallback_shares_the_structure_seed_at_level_3(
+    u3cu3_supercircuit, yorktown
+):
+    """Template binds and exact fallbacks must share one pinned SABRE seed:
+    a guard-crossing binding served by the fallback has to equal a fresh
+    transpile with the *structure* key's seed, not the bound key's."""
+    candidate, circuit, weights = structure_inputs(u3cu3_supercircuit, yorktown)
+    cache = ParametricTranspileCache(max_variants=1, variant_threshold=99)
+    generic = np.linspace(0.3, 1.8, 16)
+    cache.get_bound(circuit, weights, generic, yorktown, "sabre", 3)
+
+    zeroed = np.zeros(16)
+    compiled = cache.get_bound(circuit, weights, zeroed, yorktown, "sabre", 3)
+    assert cache.stats.fallbacks == 1
+    seed = cache.key_for(circuit, yorktown, "sabre", 3)[-1]
+    fresh = transpile(
+        circuit.bind(weights, zeroed),
+        yorktown,
+        initial_layout="sabre",
+        optimization_level=3,
+        seed=seed,
+    )
+    assert compiled.initial_layout == fresh.initial_layout
+    assert compiled.success_rate() == pytest.approx(
+        fresh.success_rate(), abs=ATOL
+    )
+
+
+def test_population_evaluation_keeps_parametric_compilations_immutable(
+    u3cu3_supercircuit, yorktown, tiny_dataset
+):
+    space = get_design_space("u3cu3")
+    evolution = EvolutionEngine(space, 4, yorktown, EvolutionConfig(seed=6))
+    config_a, config_b = evolution.random_config(), evolution.random_config()
+    mapping = evolution.random_mapping()
+    candidates = [
+        Candidate(config_a, mapping),
+        Candidate(config_b, mapping),
+        Candidate(config_a, mapping),  # duplicate: must reuse the compilation
+    ]
+    estimator = PerformanceEstimator(
+        yorktown, EstimatorConfig(mode="noise_sim", n_valid_samples=2)
+    )
+    engine = ExecutionEngine(estimator, u3cu3_supercircuit)
+    first_scores = engine.evaluate_qml_population(candidates, tiny_dataset, 4)
+    assert first_scores[0] == first_scores[2]
+
+    cache = engine.parametric_cache
+    bound = list(cache._bound.values())
+    assert bound, "population evaluation should have populated the bound cache"
+    snapshots = [
+        [
+            (inst.gate, inst.qubits, inst.params)
+            for inst in compiled.circuit.instructions
+        ]
+        for compiled in bound
+    ]
+    variants_before = cache.stats.variants_compiled
+
+    second_scores = engine.evaluate_qml_population(candidates, tiny_dataset, 4)
+    assert second_scores == first_scores
+    # second pass: no recompilation, identical objects, nothing mutated
+    assert cache.stats.variants_compiled == variants_before
+    assert {id(c) for c in cache._bound.values()} == {id(c) for c in bound}
+    for compiled, snapshot in zip(bound, snapshots):
+        assert [
+            (inst.gate, inst.qubits, inst.params)
+            for inst in compiled.circuit.instructions
+        ] == snapshot
+
+
+def test_engine_parametric_matches_bound_key_path(
+    u3cu3_supercircuit, yorktown, tiny_dataset
+):
+    """parametric_transpile=True is a pure reorganization of the PR-2 path."""
+    space = get_design_space("u3cu3")
+    evolution = EvolutionEngine(space, 4, yorktown, EvolutionConfig(seed=11))
+    candidates = [
+        Candidate(evolution.random_config(), evolution.random_mapping())
+        for _ in range(4)
+    ]
+    scores = {}
+    for parametric in (True, False):
+        estimator = PerformanceEstimator(
+            yorktown,
+            EstimatorConfig(
+                mode="noise_sim", n_valid_samples=3,
+                parametric_transpile=parametric,
+            ),
+        )
+        engine = ExecutionEngine(estimator, u3cu3_supercircuit)
+        scores[parametric] = engine.evaluate_qml_population(
+            candidates, tiny_dataset, 4
+        )
+    np.testing.assert_allclose(scores[True], scores[False], rtol=0, atol=ATOL)
+
+
+def test_caches_are_shared_across_engines_and_backend(u3cu3_supercircuit, yorktown):
+    """The estimator owns the caches: engines and the deploy backend reuse them."""
+    estimator = PerformanceEstimator(yorktown, EstimatorConfig(mode="noise_sim"))
+    engine_a = ExecutionEngine(estimator, u3cu3_supercircuit)
+    engine_b = ExecutionEngine(estimator, u3cu3_supercircuit)
+    assert engine_a.transpile_cache is estimator.transpile_cache
+    assert engine_b.transpile_cache is estimator.transpile_cache
+    assert engine_a.parametric_cache is estimator.parametric_transpile_cache
+    assert engine_b.parametric_cache is estimator.parametric_transpile_cache
+    # the parametric cache falls back into the same bound-key cache
+    assert estimator.parametric_transpile_cache.fallback is estimator.transpile_cache
+
+    backend = QuantumBackend(
+        yorktown,
+        shots=0,
+        transpile_cache=estimator.transpile_cache,
+        parametric_cache=estimator.parametric_transpile_cache,
+    )
+    candidate, circuit, weights = structure_inputs(u3cu3_supercircuit, yorktown)
+    features = np.linspace(-1.0, 1.0, 16)
+    backend.run_parameterized(
+        circuit, weights, features, initial_layout=candidate.mapping
+    )
+    # the backend's run populated the estimator-owned structure cache
+    assert len(estimator.parametric_transpile_cache) == 1
+
+    # an explicit cache size opts an engine out into private caches
+    private = ExecutionEngine(
+        estimator, u3cu3_supercircuit, transpile_cache_size=8
+    )
+    assert private.transpile_cache is not estimator.transpile_cache
+    assert private.parametric_cache is not estimator.parametric_transpile_cache
+
+
+def test_backend_run_parameterized_matches_run(u3cu3_supercircuit, yorktown):
+    """Without caches run_parameterized is exactly run(bind(...)); with caches
+    it produces the same numbers through the template path."""
+    candidate, circuit, weights = structure_inputs(u3cu3_supercircuit, yorktown)
+    features = np.linspace(-0.8, 1.2, 16)
+
+    plain = QuantumBackend(yorktown, shots=0, seed=0)
+    reference = plain.run(
+        circuit.bind(weights, features), initial_layout=candidate.mapping
+    )
+
+    cached = QuantumBackend(
+        yorktown,
+        shots=0,
+        seed=0,
+        parametric_cache=ParametricTranspileCache(),
+    )
+    via_template = cached.run_parameterized(
+        circuit, weights, features, initial_layout=candidate.mapping
+    )
+    np.testing.assert_allclose(
+        via_template.probabilities, reference.probabilities, rtol=0, atol=ATOL
+    )
+
+
+def test_cache_rejects_invalid_sizes():
+    with pytest.raises(ValueError):
+        ParametricTranspileCache(maxsize=0)
+    with pytest.raises(ValueError):
+        ParametricTranspileCache(max_variants=0)

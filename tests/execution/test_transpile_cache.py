@@ -96,7 +96,12 @@ def test_population_evaluation_never_mutates_cached_compilations(
     u3cu3_supercircuit, yorktown, tiny_dataset
 ):
     """Candidates sharing a (genome, mapping) pair share one compiled circuit;
-    evaluating a population must leave every cached compilation untouched."""
+    evaluating a population must leave every cached compilation untouched.
+
+    Pinned to the bound-key cache path (``parametric_transpile=False``); the
+    parametric structure cache has its own immutability test in
+    ``test_parametric_cache.py``.
+    """
     space = get_design_space("u3cu3")
     evolution = EvolutionEngine(space, 4, yorktown, EvolutionConfig(seed=6))
     config_a, config_b = evolution.random_config(), evolution.random_config()
@@ -108,7 +113,10 @@ def test_population_evaluation_never_mutates_cached_compilations(
     ]
 
     estimator = PerformanceEstimator(
-        yorktown, EstimatorConfig(mode="noise_sim", n_valid_samples=2)
+        yorktown,
+        EstimatorConfig(
+            mode="noise_sim", n_valid_samples=2, parametric_transpile=False
+        ),
     )
     engine = ExecutionEngine(estimator, u3cu3_supercircuit)
     first_scores = engine.evaluate_qml_population(candidates, tiny_dataset, 4)

@@ -1,0 +1,299 @@
+"""Parametric transpilation must reproduce the concrete pipeline exactly.
+
+For every (circuit structure, layout spec, optimization level) the compiled
+template's ``bind(values)`` is pinned against a fresh ``transpile`` of the
+bound circuit: identical gate/qubit streams, angles equal modulo ``2*pi``
+(the parametric pipeline skips angle normalization — a global phase), and
+noisy observables (success rate, backend probabilities) equal to 1e-9.
+Bindings that cross a compile-time branch must *refuse* (``try_bind`` →
+``None``) rather than return an inexact circuit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices import QuantumBackend, get_device
+from repro.quantum.circuit import ParameterizedCircuit
+from repro.quantum.gates import gate_num_params
+from repro.transpile.compiler import transpile
+from repro.transpile.parametric import (
+    ParametricBindMismatch,
+    num_feature_params,
+    parametric_fingerprint,
+    parametric_transpile,
+)
+
+ATOL = 1e-9
+
+GATES_1Q = ["u3", "rx", "ry", "rz", "u1", "h", "x", "sx"]
+GATES_2Q = ["cx", "cu3", "crz", "rzz", "cry", "rxx", "cz", "swap", "cu1"]
+
+
+def random_parameterized_circuit(n_qubits, n_ops, rng, n_features=4):
+    """A random mixed circuit: trainable, encoder and constant gates."""
+    circuit = ParameterizedCircuit(n_qubits)
+    for _ in range(n_ops):
+        if rng.random() < 0.55 or n_qubits == 1:
+            gate = GATES_1Q[rng.integers(len(GATES_1Q))]
+            qubits = [int(rng.integers(n_qubits))]
+        else:
+            gate = GATES_2Q[rng.integers(len(GATES_2Q))]
+            a, b = rng.choice(n_qubits, size=2, replace=False)
+            qubits = [int(a), int(b)]
+        n_params = gate_num_params(gate)
+        if n_params == 0:
+            circuit.add_fixed(gate, qubits)
+            continue
+        draw = rng.random()
+        if draw < 0.25:
+            circuit.add_encoder(
+                gate, qubits, [int(rng.integers(n_features)) for _ in range(n_params)]
+            )
+        elif draw < 0.6:
+            circuit.add_trainable(gate, qubits)
+        else:
+            circuit.add_fixed(gate, qubits, rng.uniform(-np.pi, np.pi, size=n_params))
+    return circuit
+
+
+def random_binding(circuit, rng, n_features=4):
+    weights = rng.uniform(-np.pi, np.pi, circuit.num_weights)
+    features = rng.uniform(-1.5, 1.5, n_features)
+    return weights, features
+
+
+def layout_spec(kind, n_qubits, device, rng):
+    if kind == "trivial":
+        return None
+    if kind == "sequence":
+        return [int(q) for q in rng.permutation(device.n_qubits)[:n_qubits]]
+    if kind == "dict":
+        return {
+            logical: int(physical)
+            for logical, physical in enumerate(
+                rng.permutation(device.n_qubits)[:n_qubits]
+            )
+        }
+    return "noise_adaptive"
+
+
+def angles_equal_mod_2pi(a, b, atol=ATOL):
+    return abs((a - b + np.pi) % (2.0 * np.pi) - np.pi) < atol
+
+
+def assert_bind_matches_fresh(bound_compiled, fresh):
+    got = [(inst.gate, inst.qubits) for inst in bound_compiled.circuit.instructions]
+    ref = [(inst.gate, inst.qubits) for inst in fresh.circuit.instructions]
+    assert got == ref
+    for got_inst, ref_inst in zip(
+        bound_compiled.circuit.instructions, fresh.circuit.instructions
+    ):
+        for got_param, ref_param in zip(got_inst.params, ref_inst.params):
+            assert angles_equal_mod_2pi(got_param, ref_param)
+    assert bound_compiled.initial_layout == fresh.initial_layout
+    assert bound_compiled.final_layout == fresh.final_layout
+    assert bound_compiled.used_qubits == fresh.used_qubits
+    assert bound_compiled.num_swaps == fresh.num_swaps
+    assert bound_compiled.success_rate() == pytest.approx(
+        fresh.success_rate(), abs=ATOL
+    )
+
+
+LAYOUT_KINDS = ["trivial", "sequence", "dict", "noise_adaptive"]
+
+
+@pytest.mark.parametrize("layout_kind", LAYOUT_KINDS)
+@pytest.mark.parametrize("optimization_level", [0, 1, 2, 3])
+def test_bind_matches_fresh_transpile(layout_kind, optimization_level):
+    """Random 2-6 qubit structures, three bindings each, against yorktown/jakarta."""
+    rng = np.random.default_rng(
+        11 * optimization_level + 29 * LAYOUT_KINDS.index(layout_kind)
+    )
+    for trial in range(4):
+        n_qubits = int(rng.integers(2, 7))
+        device = get_device("yorktown") if n_qubits <= 5 else get_device("jakarta")
+        circuit = random_parameterized_circuit(n_qubits, int(rng.integers(5, 16)), rng)
+        layout = layout_spec(layout_kind, n_qubits, device, rng)
+        seed = int(rng.integers(1 << 30))
+        weights, features = random_binding(circuit, rng)
+        witness = np.concatenate([weights, features])
+        parametric = parametric_transpile(
+            circuit,
+            device,
+            initial_layout=layout,
+            optimization_level=optimization_level,
+            seed=seed,
+            witness_values=witness,
+        )
+        for repetition in range(3):
+            if repetition:
+                weights, features = random_binding(circuit, rng)
+            values = np.concatenate([weights, features])
+            compiled = parametric.try_bind(values)
+            fresh = transpile(
+                circuit.bind(weights, features),
+                device,
+                initial_layout=layout,
+                optimization_level=optimization_level,
+                seed=seed,
+            )
+            if compiled is None:
+                # the binding crossed a compile-time branch; refusing is the
+                # correct (exact) behavior — the caches fall back to `fresh`
+                continue
+            assert_bind_matches_fresh(compiled, fresh)
+
+
+def test_noisy_probabilities_match_to_1e9(yorktown):
+    """Bound templates produce backend probabilities identical to fresh compiles."""
+    rng = np.random.default_rng(5)
+    backend = QuantumBackend(yorktown, shots=0, seed=0)
+    for trial in range(3):
+        circuit = random_parameterized_circuit(4, 12, rng)
+        layout = layout_spec("sequence", 4, yorktown, rng)
+        weights, features = random_binding(circuit, rng)
+        witness = np.concatenate([weights, features])
+        parametric = parametric_transpile(
+            circuit, yorktown, initial_layout=layout, witness_values=witness
+        )
+        for repetition in range(2):
+            if repetition:
+                weights, features = random_binding(circuit, rng)
+            compiled = parametric.try_bind(np.concatenate([weights, features]))
+            if compiled is None:
+                continue
+            fresh = transpile(
+                circuit.bind(weights, features), yorktown, initial_layout=layout
+            )
+            result = backend.run_compiled(compiled, n_logical=4, shots=0)
+            reference = backend.run_compiled(fresh, n_logical=4, shots=0)
+            np.testing.assert_allclose(
+                result.probabilities, reference.probabilities, rtol=0, atol=ATOL
+            )
+
+
+def test_witness_binding_always_binds(yorktown):
+    """The witness's own values can never cross a compile-time branch."""
+    rng = np.random.default_rng(17)
+    for trial in range(5):
+        circuit = random_parameterized_circuit(3, 10, rng)
+        weights, features = random_binding(circuit, rng)
+        witness = np.concatenate([weights, features])
+        parametric = parametric_transpile(
+            circuit, yorktown, witness_values=witness
+        )
+        assert parametric.try_bind(witness) is not None
+
+
+def test_binding_plan_is_immutable(yorktown):
+    """Binding must not mutate the template: repeated binds are identical and
+    earlier results are unaffected by later binds."""
+    rng = np.random.default_rng(23)
+    circuit = random_parameterized_circuit(4, 12, rng)
+    weights, features = random_binding(circuit, rng)
+    witness = np.concatenate([weights, features])
+    parametric = parametric_transpile(circuit, yorktown, witness_values=witness)
+
+    first = parametric.bind(witness)
+    snapshot = [
+        (inst.gate, inst.qubits, inst.params)
+        for inst in first.circuit.instructions
+    ]
+    structure = (
+        parametric.num_instructions,
+        parametric.num_parametric_slots,
+        parametric.num_guards,
+        parametric.num_replay_nodes,
+    )
+
+    for _ in range(4):
+        weights2, features2 = random_binding(circuit, rng)
+        parametric.try_bind(np.concatenate([weights2, features2]))
+
+    again = parametric.bind(witness)
+    assert [
+        (inst.gate, inst.qubits, inst.params)
+        for inst in again.circuit.instructions
+    ] == snapshot
+    # the first result's object graph was not touched by later binds
+    assert [
+        (inst.gate, inst.qubits, inst.params)
+        for inst in first.circuit.instructions
+    ] == snapshot
+    assert (
+        parametric.num_instructions,
+        parametric.num_parametric_slots,
+        parametric.num_guards,
+        parametric.num_replay_nodes,
+    ) == structure
+
+
+def test_branch_crossing_refuses_instead_of_guessing(yorktown):
+    """A binding that zeroes a traced rotation must raise, not misbind."""
+    circuit = ParameterizedCircuit(2)
+    circuit.add_trainable("rz", [0])
+    circuit.add_fixed("cx", [0, 1])
+    circuit.add_trainable("rz", [1])
+
+    witness = np.array([1.1, 0.7])
+    parametric = parametric_transpile(
+        circuit, yorktown, optimization_level=1, witness_values=witness
+    )
+    assert parametric.try_bind(witness) is not None
+    # zeroing the first rotation drops it in the concrete pipeline -> the
+    # recorded non-zero branch no longer holds
+    with pytest.raises(ParametricBindMismatch):
+        parametric.bind(np.array([0.0, 0.7]))
+
+
+def test_reduced_circuit_is_prebuilt_and_consistent(yorktown):
+    rng = np.random.default_rng(31)
+    circuit = random_parameterized_circuit(3, 9, rng)
+    weights, features = random_binding(circuit, rng)
+    values = np.concatenate([weights, features])
+    parametric = parametric_transpile(
+        circuit, yorktown, initial_layout=[2, 0, 1], witness_values=values
+    )
+    compiled = parametric.bind(values)
+    reduced, used = compiled.reduced_circuit()
+    fresh = transpile(
+        circuit.bind(weights, features), yorktown, initial_layout=[2, 0, 1]
+    )
+    fresh_reduced, fresh_used = fresh.reduced_circuit()
+    assert used == fresh_used
+    assert [(i.gate, i.qubits) for i in reduced.instructions] == [
+        (i.gate, i.qubits) for i in fresh_reduced.instructions
+    ]
+    # the reduced view re-indexes the same instruction stream
+    assert len(reduced.instructions) == len(compiled.circuit.instructions)
+
+
+def test_fingerprint_ignores_values_and_sees_structure():
+    a = ParameterizedCircuit(2)
+    a.add_trainable("u3", [0])
+    a.add_encoder("ry", [1], [2])
+    a.add_fixed("cx", [0, 1])
+
+    b = ParameterizedCircuit(2)
+    b.add_trainable("u3", [0])
+    b.add_encoder("ry", [1], [2])
+    b.add_fixed("cx", [0, 1])
+    assert parametric_fingerprint(a) == parametric_fingerprint(b)
+    assert num_feature_params(a) == 3
+
+    c = ParameterizedCircuit(2)
+    c.add_trainable("u3", [0])
+    c.add_encoder("ry", [1], [3])  # different feature slot
+    c.add_fixed("cx", [0, 1])
+    assert parametric_fingerprint(a) != parametric_fingerprint(c)
+
+
+def test_bind_rejects_short_value_vectors(yorktown):
+    circuit = ParameterizedCircuit(2)
+    circuit.add_trainable("u3", [0])
+    circuit.add_encoder("ry", [1], [1])
+    parametric = parametric_transpile(circuit, yorktown)
+    with pytest.raises(ValueError):
+        parametric.bind(np.zeros(2))  # needs 3 weights + 2 features
