@@ -1,28 +1,38 @@
-"""Population-evaluation speed: parametric vs bound-key vs sequential paths.
+"""Population-evaluation speed: sharded vs parametric vs bound-key vs sequential.
 
 The workload models the co-search hot path on a 4-qubit task: a 32-candidate
 population drawn as 8 SubCircuit genomes x 4 qubit mappings each — the shape
 of a mapping-heavy generation (parents re-explored under new mappings, the
 Fig. 19 mapping-only search, and late generations where genomes converge).
 
-Three execution paths are compared on cold (empty caches) and warm (second
+Five execution paths are compared on cold (empty caches) and warm (second
 evaluation of the same population) passes:
 
 * ``sequential`` — the per-candidate seed estimator calls;
 * ``bound_key`` — the PR-2 batched engine algorithm
   (``parametric_transpile=False``): every bound validation sample is compiled
   by a full pipeline run, memoized by bound-circuit fingerprint;
-* ``parametric`` — this PR's default: each (genome, mapping) structure is
+* ``parametric`` — the PR-3 default: each (genome, mapping) structure is
   compiled once into a parametric template and every sample is an O(params)
-  angle re-bind.
+  angle re-bind;
+* ``sharded_w1`` / ``sharded_w4`` — this PR's
+  :class:`~repro.execution.scheduler.ShardedExecutionEngine` at 1 and 4
+  worker processes.  ``w1`` runs the same group-at-a-time algorithm
+  in-process (the scheduler's degradation target); ``w4`` fans the structure
+  groups out across a pinned process pool.  The pool is started *before*
+  timing (``warm_up``), so the cold column measures population evaluation,
+  not fork/exec.
 
-All three must agree to 1e-9 — the engines are pure reorganizations of the
-same numbers.  Every run's timings, transpile-time shares and cache counters
-are written to ``BENCH_execution.json`` next to the working directory so CI
-can archive them.
+All paths must agree to 1e-9 — the engines are pure reorganizations of the
+same numbers.  Every run's timings, transpile-time shares, per-shard worker
+reports and cache counters are written to ``BENCH_execution.json`` next to
+the working directory so CI can archive them.
 
 ``BENCH_SMOKE=1`` shrinks the workload to CI smoke-test size (the speedup
 gates are skipped there — timings on shared CI runners are not meaningful).
+The sharded gate additionally requires >= ``SHARDED_WORKERS`` physical cores:
+four processes cannot beat one on a single-core host, and a timing "gate"
+that cannot fail honestly there would only fail noisily.
 """
 
 import json
@@ -42,7 +52,7 @@ from repro.core import (
 )
 from repro.core.evolution import Candidate
 from repro.devices import get_device
-from repro.execution import ExecutionEngine
+from repro.execution import ExecutionEngine, ShardedExecutionEngine
 
 SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
 N_QUBITS = 4
@@ -58,6 +68,14 @@ N_VALID_SUCCESS_RATE = 4 if SMOKE else 16
 #: so its floor is set lower to absorb CI timing noise.)
 REQUIRED_PARAMETRIC_SPEEDUP = 1.35
 REQUIRED_SEQUENTIAL_SPEEDUP = 3.0
+#: the sharded acceptance gate: 4 workers must beat 1 worker cold by 1.5x on
+#: the noise_sim workload — enforced only where 4 processes can actually run
+#: in parallel (see the module docstring)
+SHARDED_WORKERS = 4
+REQUIRED_SHARDED_SPEEDUP = 1.5
+SHARDED_GATE_ENFORCED = not SMOKE and (os.cpu_count() or 1) >= SHARDED_WORKERS
+PATHS = ("sequential", "bound_key", "parametric", "sharded_w1",
+         f"sharded_w{SHARDED_WORKERS}")
 OUTPUT_JSON = "BENCH_execution.json"
 
 
@@ -77,7 +95,9 @@ def cache_report(estimator, elapsed_cold, path):
     The sequential seed path transpiles directly and never touches the
     estimator-owned caches, so it gets no cache block (and a ``None`` share)
     rather than fabricated zeros; the bound-key path reports only the
-    bound-circuit cache it actually uses.
+    bound-circuit cache it actually uses.  Sharded paths report the merged
+    worker counters (the scheduler folds every shard's deltas into these
+    estimator-owned stats).
     """
     if path == "sequential":
         return {"transpile_seconds": None, "transpile_share_cold": None}
@@ -96,7 +116,7 @@ def cache_report(estimator, elapsed_cold, path):
             "compile_seconds": bound.compile_seconds,
         },
     }
-    if path == "parametric":
+    if path == "parametric" or path.startswith("sharded"):
         report["parametric_cache"] = {
             "structure_hits": parametric.structure_hits,
             "structure_misses": parametric.structure_misses,
@@ -113,32 +133,87 @@ def cache_report(estimator, elapsed_cold, path):
     return report
 
 
+def shard_report(engine, elapsed):
+    """Per-worker shard reports for one sharded generation.
+
+    ``transpile_share`` is each worker's own compile+bind time over its wall
+    time — the per-worker view of how transpile-bound the shard was.
+    """
+    return {
+        "effective_shards": len(engine.last_shard_reports),
+        "per_worker": [
+            {
+                **report,
+                "transpile_share": (
+                    report["transpile_seconds"] / report["elapsed_seconds"]
+                    if report["elapsed_seconds"]
+                    else 0.0
+                ),
+            }
+            for report in engine.last_shard_reports
+        ],
+        "scheduler": {
+            "generations": engine.scheduler_stats.generations,
+            "sharded_generations": engine.scheduler_stats.sharded_generations,
+            "shards_dispatched": engine.scheduler_stats.shards_dispatched,
+            "adopted_bound_entries": engine.scheduler_stats.adopted_bound_entries,
+            "adopted_structures": engine.scheduler_stats.adopted_structures,
+        },
+        "parallel_efficiency": (
+            sum(r["elapsed_seconds"] for r in engine.last_shard_reports) / elapsed
+            if elapsed and engine.last_shard_reports
+            else None
+        ),
+    }
+
+
 def evaluate(path, mode, n_valid, supercircuit, device, candidates, dataset,
              n_classes):
     """One engine path: cold pass, warm pass, scores and cache counters."""
     engine_mode = "sequential" if path == "sequential" else "batched"
+    workers = int(path.split("_w")[1]) if path.startswith("sharded") else 1
     estimator = PerformanceEstimator(
         device,
         EstimatorConfig(
             mode=mode,
             n_valid_samples=n_valid,
             engine=engine_mode,
-            parametric_transpile=(path == "parametric"),
+            parametric_transpile=(path != "bound_key" and path != "sequential"),
+            workers=workers,
+            # shard even the smoke workload's 2-genome population
+            shard_min_group_size=1,
         ),
     )
-    engine = ExecutionEngine(estimator, supercircuit)
-    start = time.perf_counter()
-    scores = engine.evaluate_qml_population(candidates, dataset, n_classes)
-    cold = time.perf_counter() - start
-    start = time.perf_counter()
-    engine.evaluate_qml_population(candidates, dataset, n_classes)
-    warm = time.perf_counter() - start
-    return {
-        "scores": np.array(scores),
-        "cold_seconds": cold,
-        "warm_seconds": warm,
-        "caches": cache_report(estimator, cold, path),
-    }
+    if path.startswith("sharded"):
+        engine = ShardedExecutionEngine(estimator, supercircuit)
+    else:
+        engine = ExecutionEngine(estimator, supercircuit)
+    try:
+        if path.startswith("sharded"):
+            # start the pool outside the timed region: the cold column
+            # measures population evaluation, not fork/exec + worker setup
+            engine.warm_up()
+        start = time.perf_counter()
+        scores = engine.evaluate_qml_population(candidates, dataset, n_classes)
+        cold = time.perf_counter() - start
+        shards_cold = (
+            shard_report(engine, cold) if path.startswith("sharded") else None
+        )
+        start = time.perf_counter()
+        engine.evaluate_qml_population(candidates, dataset, n_classes)
+        warm = time.perf_counter() - start
+        result = {
+            "scores": np.array(scores),
+            "cold_seconds": cold,
+            "warm_seconds": warm,
+            "caches": cache_report(estimator, cold, path),
+        }
+        if path.startswith("sharded"):
+            result["shards_cold"] = shards_cold
+            result["shards_warm"] = shard_report(engine, warm)
+        return result
+    finally:
+        engine.close()
 
 
 def run_experiment():
@@ -157,15 +232,19 @@ def run_experiment():
             "mappings_per_genome": MAPPINGS_PER_GENOME,
             "device": device.name,
             "smoke": SMOKE,
+            "cpu_count": os.cpu_count(),
+            "sharded_workers": SHARDED_WORKERS,
+            "sharded_gate_enforced": SHARDED_GATE_ENFORCED,
         },
         "modes": {},
     }
+    sharded_w = f"sharded_w{SHARDED_WORKERS}"
     for mode, n_valid in (("noise_sim", N_VALID_NOISE_SIM),
                           ("success_rate", N_VALID_SUCCESS_RATE)):
         runs = {
             path: evaluate(path, mode, n_valid, supercircuit, device,
                            candidates, dataset, dataset.n_classes)
-            for path in ("sequential", "bound_key", "parametric")
+            for path in PATHS
         }
         reference = runs["sequential"]["scores"]
         mode_report = {"n_valid_samples": n_valid, "paths": {}}
@@ -177,6 +256,9 @@ def run_experiment():
                 "max_abs_diff_vs_sequential": max_diff,
                 **run["caches"],
             }
+            if "shards_cold" in run:
+                mode_report["paths"][path]["shards_cold"] = run["shards_cold"]
+                mode_report["paths"][path]["shards_warm"] = run["shards_warm"]
             share = run["caches"]["transpile_share_cold"]
             rows.append([
                 mode, path, n_valid,
@@ -190,6 +272,12 @@ def run_experiment():
         )
         mode_report["parametric_vs_sequential_cold"] = (
             runs["sequential"]["cold_seconds"] / runs["parametric"]["cold_seconds"]
+        )
+        mode_report["sharded_vs_w1_cold"] = (
+            runs["sharded_w1"]["cold_seconds"] / runs[sharded_w]["cold_seconds"]
+        )
+        mode_report["sharded_vs_sequential_cold"] = (
+            runs["sequential"]["cold_seconds"] / runs[sharded_w]["cold_seconds"]
         )
         # steady-state view: a warm parametric generation vs one fresh
         # sequential population pass (the cost a non-batched search would
@@ -240,3 +328,8 @@ def test_execution_engine_speedup(benchmark):
         # steady state (warm caches vs a fresh sequential population pass)
         assert success_rate["parametric_vs_bound_key_cold"] > 0.7, success_rate
         assert success_rate["sequential_cold_vs_parametric_warm"] > 3.0, success_rate
+    if SHARDED_GATE_ENFORCED:
+        # the sharding acceptance gate: 4 workers beat 1 on the cold
+        # noise_sim workload (only meaningful with >= 4 physical cores)
+        noise_sim = report["modes"]["noise_sim"]
+        assert noise_sim["sharded_vs_w1_cold"] >= REQUIRED_SHARDED_SPEEDUP, noise_sim

@@ -16,7 +16,8 @@ Table IV "search with real QC in the loop" configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -56,6 +57,18 @@ class EstimatorConfig:
     #: sample (repro.transpile.parametric); False replays the exact PR-2
     #: bound-circuit cache path.  Only affects the batched engine.
     parametric_transpile: bool = True
+    #: worker processes for population evaluation.  > 1 makes
+    #: :meth:`PerformanceEstimator.population_engine` return a
+    #: :class:`~repro.execution.scheduler.ShardedExecutionEngine`; <= 1 stays
+    #: in-process.  The default honours the ``REPRO_WORKERS`` environment
+    #: variable (the CI matrix runs the suite with ``REPRO_WORKERS=2``).
+    #: Scores are bit-for-bit independent of this value.
+    workers: int = field(
+        default_factory=lambda: int(os.environ.get("REPRO_WORKERS", "1"))
+    )
+    #: minimum candidates per shard worth one process dispatch; populations
+    #: smaller than ``2 * shard_min_group_size`` evaluate in-process
+    shard_min_group_size: int = 4
 
     def __post_init__(self) -> None:
         valid = ("auto", "noise_sim", "success_rate", "noise_free", "real_qc")
@@ -63,6 +76,9 @@ class EstimatorConfig:
             raise ValueError(f"mode must be one of {valid}")
         if self.engine not in ("batched", "sequential"):
             raise ValueError("engine must be 'batched' or 'sequential'")
+        self.workers = int(self.workers)
+        if self.shard_min_group_size < 1:
+            raise ValueError("shard_min_group_size must be positive")
 
 
 class PerformanceEstimator:
@@ -139,7 +155,20 @@ class PerformanceEstimator:
         return self._measurement_plans[key][1]
 
     def population_engine(self, supercircuit):
-        """An :class:`~repro.execution.ExecutionEngine` bound to this estimator."""
+        """A population engine bound to this estimator.
+
+        ``config.workers > 1`` returns the multi-process
+        :class:`~repro.execution.scheduler.ShardedExecutionEngine` (whose
+        worker caches merge back into this estimator's caches each
+        generation); otherwise the in-process
+        :class:`~repro.execution.ExecutionEngine`.  Callers should ``close()``
+        the returned engine when the search is done — a no-op in-process,
+        worker-pool shutdown when sharded.
+        """
+        if getattr(self.config, "workers", 1) > 1:
+            from ..execution.scheduler import ShardedExecutionEngine
+
+            return ShardedExecutionEngine(self, supercircuit)
         from ..execution.engine import ExecutionEngine
 
         return ExecutionEngine(self, supercircuit)

@@ -133,14 +133,21 @@ class QuantumNASQMLPipeline:
             self.space, self.n_qubits, self.device, self.config.evolution
         )
         # Populations are submitted through the execution engine, which
-        # batches them (or replays the per-candidate seed path when
-        # ``EstimatorConfig.engine == "sequential"``).
+        # batches them (sharding across worker processes when
+        # ``EstimatorConfig.workers > 1``) or replays the per-candidate seed
+        # path when ``EstimatorConfig.engine == "sequential"``.  Either way
+        # the compilations land in the estimator-owned caches that stage 5
+        # reuses, so the sharded engine's worker pool can be shut down as
+        # soon as the search returns.
         execution = self.estimator.population_engine(self.supercircuit)
-        return engine.search(
-            population_score_fn=execution.qml_population_scorer(
-                self.dataset, self.n_classes
+        try:
+            return engine.search(
+                population_score_fn=execution.qml_population_scorer(
+                    self.dataset, self.n_classes
+                )
             )
-        )
+        finally:
+            execution.close()
 
     def train_best(self, sub_config: SubCircuitConfig):
         return train_subcircuit_qml(
@@ -292,10 +299,15 @@ class QuantumNASVQEPipeline:
         engine = EvolutionEngine(
             self.space, self.n_qubits, self.device, self.config.evolution
         )
+        # see QuantumNASQMLPipeline.co_search — worker caches merge into the
+        # shared estimator before the pool is closed
         execution = self.estimator.population_engine(self.supercircuit)
-        return engine.search(
-            population_score_fn=execution.vqe_population_scorer(self.molecule)
-        )
+        try:
+            return engine.search(
+                population_score_fn=execution.vqe_population_scorer(self.molecule)
+            )
+        finally:
+            execution.close()
 
     def measure(
         self, model: VQEModel, weights: np.ndarray, mapping: Tuple[int, ...]

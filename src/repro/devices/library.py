@@ -53,6 +53,15 @@ class Device:
             self._noise_model = self.calibration.noise_model()
         return self._noise_model
 
+    def __getstate__(self) -> dict:
+        # The memoized noise model is derived state: dropping it keeps device
+        # pickles lean (sharded-scheduler tasks and compiled-circuit cache
+        # entries carry a Device each) and lets every worker process rebuild
+        # it deterministically from the calibration snapshot.
+        state = self.__dict__.copy()
+        state["_noise_model"] = None
+        return state
+
     def error_summary(self) -> Dict[str, float]:
         return {
             "single_qubit_error": self.calibration.average_single_qubit_error(),

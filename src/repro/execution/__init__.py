@@ -48,6 +48,16 @@ as one ``(batch,) + (2,) * 2n`` density-matrix stack.  Noise channels depend
 only on gate arity and qubits, so their superoperators are derived once per
 gate position instead of once per circuit.
 
+**Sharded multi-process scheduling.**  ``EstimatorConfig(workers=N)`` routes
+whole-population evaluation through :class:`ShardedExecutionEngine`
+(:mod:`repro.execution.scheduler`): structure groups are deterministically
+partitioned across a persistent ``ProcessPoolExecutor``, worker-local caches
+stay warm across generations, and every worker's new cache entries and
+counter deltas are merged back into the parent estimator's caches after each
+generation.  The scheduler's determinism contract (see its module docstring)
+keeps scores bit-for-bit independent of the worker count, and any worker
+fault degrades to the in-process path with a warning — never a wrong score.
+
 ``EstimatorConfig(engine="sequential")`` routes every candidate through the
 original per-candidate estimator calls, bit-for-bit identical to the seed
 implementation; the equivalence tests in ``tests/execution`` pin the batched
@@ -61,6 +71,8 @@ from .cache import (
     TranspileCacheStats,
 )
 from .engine import ExecutionEngine, ExecutionStats
+from .scheduler import SchedulerStats, ShardedExecutionEngine
+from .stats import MergeableStats
 
 __all__ = [
     "ParametricCacheStats",
@@ -69,4 +81,7 @@ __all__ = [
     "TranspileCacheStats",
     "ExecutionEngine",
     "ExecutionStats",
+    "MergeableStats",
+    "SchedulerStats",
+    "ShardedExecutionEngine",
 ]

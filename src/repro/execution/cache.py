@@ -36,6 +36,7 @@ from ..transpile.parametric import (
     parametric_fingerprint,
     parametric_transpile,
 )
+from .stats import MergeableStats
 
 __all__ = [
     "TranspileCacheStats",
@@ -58,8 +59,14 @@ def stable_seed(key: Tuple) -> int:
 
 
 @dataclass
-class TranspileCacheStats:
-    """Hit/miss counters of a :class:`TranspileCache`."""
+class TranspileCacheStats(MergeableStats):
+    """Hit/miss counters of a :class:`TranspileCache`.
+
+    Aggregation (sharded workers merging their deltas into the parent
+    estimator's counters) goes through the explicit
+    :class:`~repro.execution.stats.MergeableStats` protocol, never ad-hoc
+    field mutation.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -169,6 +176,49 @@ class TranspileCache:
             self.stats.evictions += 1
         return compiled
 
+    # -- sharded-worker entry exchange --------------------------------------
+
+    def export_entries(self, exclude=()) -> list:
+        """``(key, compiled)`` pairs not in ``exclude``, in LRU order.
+
+        Workers call this after each shard task with the set of keys they
+        already shipped, so only entries compiled *during* the task cross the
+        process boundary.
+        """
+        exclude = set(exclude)
+        return [(key, entry) for key, entry in self._entries.items()
+                if key not in exclude]
+
+    def export_keys(self) -> set:
+        """Current entry keys — a worker's exclusion set for the next export.
+
+        Taken *after* each export (not accumulated across exports): an entry
+        evicted and later recompiled must be shipped again, and the exclusion
+        set must stay bounded by the cache size.
+        """
+        return set(self._entries)
+
+    def adopt_entries(self, entries) -> int:
+        """Insert compiled circuits produced elsewhere (absent keys only).
+
+        Returns the number adopted.  Adoption is not a lookup: hit/miss
+        counters are untouched (the work was already counted by the process
+        that compiled the entry), only evictions are recorded when adoption
+        pushes the cache over ``maxsize``.  When a key is already present the
+        local entry wins, preserving object identity for callers that already
+        hold it.
+        """
+        adopted = 0
+        for key, entry in entries:
+            if key in self._entries:
+                continue
+            self._entries[key] = entry
+            adopted += 1
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return adopted
+
     def clear(self) -> None:
         self._entries.clear()
         self.stats = TranspileCacheStats()
@@ -180,7 +230,7 @@ class TranspileCache:
 
 
 @dataclass
-class ParametricCacheStats:
+class ParametricCacheStats(MergeableStats):
     """Counters of a :class:`ParametricTranspileCache`.
 
     ``structure_*`` counts lookups of compiled circuit *structures* (one per
@@ -485,6 +535,68 @@ class ParametricTranspileCache:
             self._bound.popitem(last=False)
             self.stats.bind_evictions += 1
         return compiled
+
+    # -- sharded-worker entry exchange --------------------------------------
+
+    def export_entries(self, exclude_structures=(), exclude_bound=()) -> dict:
+        """Structure variants and bound compilations not yet exported.
+
+        Returns ``{"structures": [(key, (variant, ...)), ...],
+        "bound": [(key, compiled), ...]}`` — everything a worker compiled
+        during one shard task (given the exclusion sets of what it shipped
+        before).  Pickled as one payload, so a bound entry produced by a
+        variant bind keeps sharing objects with that variant.
+        """
+        exclude_structures = set(exclude_structures)
+        exclude_bound = set(exclude_bound)
+        structures = [
+            (key, tuple(state.variants))
+            for key, state in self._structures.items()
+            if key not in exclude_structures and state.variants
+        ]
+        bound = [(key, entry) for key, entry in self._bound.items()
+                 if key not in exclude_bound]
+        return {"structures": structures, "bound": bound}
+
+    def adopt_entries(self, payload: dict) -> Tuple[int, int]:
+        """Insert structures/bound compilations produced elsewhere.
+
+        Returns ``(structures_adopted, bound_adopted)``.  Mirrors
+        :meth:`TranspileCache.adopt_entries`: absent keys only, no hit/miss
+        accounting (adoption is not a lookup), evictions recorded.  A
+        structure key already present keeps its local variants — duplicate
+        variants would only slow ``try_bind`` down, never change a result.
+        """
+        structures_adopted = 0
+        for key, variants in payload.get("structures", ()):
+            if key in self._structures or not variants:
+                continue
+            state = _StructureState()
+            state.variants = list(variants)
+            self._structures[key] = state
+            structures_adopted += 1
+            if len(self._structures) > self.maxsize:
+                self._structures.popitem(last=False)
+                self.stats.structure_evictions += 1
+        bound_adopted = 0
+        for key, entry in payload.get("bound", ()):
+            if key in self._bound:
+                continue
+            self._bound[key] = entry
+            bound_adopted += 1
+            if len(self._bound) > self.bound_maxsize:
+                self._bound.popitem(last=False)
+                self.stats.bind_evictions += 1
+        return structures_adopted, bound_adopted
+
+    def export_keys(self) -> Tuple[set, set]:
+        """Current (structure keys, bound keys) — a worker's exclusion sets.
+
+        Same contract as :meth:`TranspileCache.export_keys`: refreshed after
+        every export so evicted-then-recompiled entries ship again and the
+        sets stay bounded by the cache sizes.
+        """
+        return set(self._structures), set(self._bound)
 
     def clear(self) -> None:
         self._structures.clear()

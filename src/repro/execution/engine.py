@@ -49,13 +49,22 @@ from ..quantum.statevector import (
 )
 from ..utils.stats import nll_loss, softmax
 from .cache import ParametricTranspileCache, TranspileCache
+from .stats import MergeableStats
 
 __all__ = ["ExecutionStats", "ExecutionEngine"]
 
 
 @dataclass
-class ExecutionStats:
-    """Counters describing what the engine amortized."""
+class ExecutionStats(MergeableStats):
+    """Counters describing what the engine amortized.
+
+    ``populations`` and ``candidates`` are *population-level* counters — in a
+    sharded evaluation the parent scheduler counts them exactly once per
+    generation and workers report them as zero deltas (see
+    :meth:`repro.execution.scheduler.ShardedExecutionEngine`); the remaining
+    fields are sub-population work counters that sum across shards.
+    Aggregation goes through :class:`~repro.execution.stats.MergeableStats`.
+    """
 
     populations: int = 0
     candidates: int = 0
@@ -304,6 +313,13 @@ class ExecutionEngine:
         self._vqe_structures: "OrderedDict[Tuple, _StructureEntry]" = OrderedDict()
         self._readouts: Dict[Tuple[int, int], np.ndarray] = {}
         self._params_snapshot: Optional[bytes] = None
+
+    def close(self) -> None:
+        """Release scheduler resources (a no-op for the in-process engine).
+
+        Exists so pipelines can close any population engine uniformly — the
+        sharded subclass shuts its worker pool down here.
+        """
 
     # -- scorer factories (what the evolution engine consumes) -----------------
 

@@ -1,0 +1,593 @@
+"""Sharded multi-process population evaluation for the co-search hot path.
+
+:class:`ShardedExecutionEngine` partitions a population's structure groups
+(candidates sharing one SubCircuit genome) across a persistent
+``concurrent.futures.ProcessPoolExecutor``.  Each worker owns a full
+:class:`~repro.core.estimator.PerformanceEstimator` +
+:class:`~repro.execution.engine.ExecutionEngine` stack — including its own
+transpile/parametric caches, which stay warm across generations — and after
+every generation each worker's *new* cache entries and counter deltas are
+merged back into the parent estimator's caches through the explicit
+:class:`~repro.execution.stats.MergeableStats` protocol, so the
+deploy/evaluate stage (and any degraded generation) starts from everything
+the fleet compiled.
+
+Determinism contract
+--------------------
+Results are bit-for-bit independent of the worker count.  Three rules make
+that hold:
+
+1. **The unit of evaluation is the structure group, everywhere.**  A group's
+   candidates are always evaluated together through one in-process
+   ``ExecutionEngine`` call — inside a worker, inside the parent when
+   ``workers <= 1``, and inside the parent again when a generation degrades —
+   so the batched density-matrix stacks, transpile requests and cache-state
+   evolution a group sees are identical no matter where (or alongside what)
+   it runs.  Changing the worker count only moves groups between processes;
+   it never changes the numbers any group produces.
+2. **Shard assignment is a pure function of the population.**  Group keys are
+   ordered stably (sorted genome genes) and assigned greedily
+   (largest-candidate-count first, key as tie-break) to the least-loaded
+   shard — never by pool state, population order or prior generations.
+3. **Per-shard seeds are pinned.**  Every shard task re-seeds its worker's
+   estimator/backend rng streams from ``stable_seed((seed, "shard", i))``.
+   No sharded mode consumes these streams today (``real_qc`` — the only
+   rng-consuming estimator mode — always takes the sequential parent path),
+   so this is defensive: a future drawing path inherits a shard-stable
+   stream instead of one that depends on scheduling history.
+
+Graceful degradation: any worker failure (including a broken pool) emits a
+``RuntimeWarning`` and re-evaluates the whole population in-process —
+group-at-a-time, exactly like rule 1 — so a fault can delay a generation but
+never change a score.  Cache entries already returned by healthy shards are
+adopted first, so the retry is warm.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+import warnings
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.rng import ensure_rng
+from .cache import ParametricCacheStats, TranspileCacheStats, stable_seed
+from .engine import ExecutionEngine, ExecutionStats
+from .stats import MergeableStats
+
+__all__ = ["SchedulerStats", "ShardedExecutionEngine"]
+
+
+@dataclass
+class SchedulerStats(MergeableStats):
+    """Counters describing what the sharded scheduler did."""
+
+    generations: int = 0
+    sharded_generations: int = 0
+    in_process_generations: int = 0
+    degraded_generations: int = 0
+    shards_dispatched: int = 0
+    worker_failures: int = 0
+    adopted_bound_entries: int = 0
+    adopted_structures: int = 0
+    adopted_parametric_bound: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Task / result payloads crossing the process boundary
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ValidationView:
+    """The validation rows a QML generation scores against.
+
+    Ships only the subset the estimator would select (not the whole dataset)
+    and quacks enough like :class:`~repro.qml.datasets.Dataset` for
+    ``PerformanceEstimator.validation_subset``.
+    """
+
+    x_valid: np.ndarray
+    y_valid: np.ndarray
+
+
+@dataclass
+class _ShardTask:
+    """One shard's slice of a generation."""
+
+    shard_index: int
+    seed: int
+    parameters: np.ndarray
+    #: ``(group key, population indices, candidates)`` per structure group
+    groups: List[Tuple[Tuple, List[int], list]]
+    payload: dict
+    fail: bool = False          # fault-injection test seam
+
+
+@dataclass
+class _ShardResult:
+    """Scores plus the accounting deltas one shard produced."""
+
+    shard_index: int
+    n_groups: int
+    n_candidates: int
+    scores: List[Tuple[int, float]]
+    engine_stats: ExecutionStats
+    num_queries: int
+    backend_executions: int
+    bound_stats: TranspileCacheStats
+    parametric_stats: ParametricCacheStats
+    bound_entries: list
+    parametric_entries: dict
+    elapsed_seconds: float
+
+
+class _ShardFailure(Exception):
+    """Raised in the parent when any shard of a generation failed."""
+
+    def __init__(self, results: List[_ShardResult], cause: BaseException) -> None:
+        super().__init__(str(cause))
+        self.results = results
+        self.cause = cause
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side
+# ---------------------------------------------------------------------------
+
+
+class _WorkerContext:
+    """Per-process estimator/engine stack plus export bookkeeping."""
+
+    def __init__(self, device, config, supercircuit) -> None:
+        # Imported here, not at module top: repro.execution must stay
+        # importable without pulling the whole repro.core package in.
+        from ..core.estimator import PerformanceEstimator
+
+        self.supercircuit = supercircuit
+        # Workers never shard further — a worker is the leaf of the tree.
+        worker_config = dataclasses.replace(config, workers=1)
+        self.estimator = PerformanceEstimator(device, worker_config)
+        self.engine = ExecutionEngine(self.estimator, supercircuit)
+        self.exported_bound: set = set()
+        self.exported_structures: set = set()
+        self.exported_parametric_bound: set = set()
+
+    def run(self, task: _ShardTask) -> _ShardResult:
+        if task.fail:
+            raise RuntimeError(
+                f"injected worker fault in shard {task.shard_index} (test seam)"
+            )
+        start = time.perf_counter()
+        if not np.array_equal(self.supercircuit.parameters, task.parameters):
+            self.supercircuit.parameters = np.array(task.parameters, dtype=float)
+        estimator = self.estimator
+        estimator.rng = ensure_rng(task.seed)
+        estimator._backend.rng = ensure_rng(task.seed)
+
+        engine_before = self.engine.stats.copy()
+        bound_before = estimator.transpile_cache.stats.copy()
+        parametric_before = estimator.parametric_transpile_cache.stats.copy()
+        queries_before = estimator.num_queries
+        executions_before = estimator._backend.executions
+
+        scores: List[Tuple[int, float]] = []
+        n_candidates = 0
+        for _key, indices, candidates in task.groups:
+            n_candidates += len(candidates)
+            if task.payload["kind"] == "qml":
+                group_scores = self.engine.evaluate_qml_population(
+                    candidates, task.payload["dataset"], task.payload["n_classes"]
+                )
+            else:
+                group_scores = self.engine.evaluate_vqe_population(
+                    candidates, task.payload["molecule"]
+                )
+            scores.extend(
+                (int(index), float(score))
+                for index, score in zip(indices, group_scores)
+            )
+
+        # populations/candidates are generation-level counters owned by the
+        # parent — report them as zero deltas so merging cannot double-count.
+        engine_delta = self.engine.stats.diff(engine_before)
+        engine_delta.populations = 0
+        engine_delta.candidates = 0
+
+        bound_entries = estimator.transpile_cache.export_entries(self.exported_bound)
+        parametric_entries = estimator.parametric_transpile_cache.export_entries(
+            self.exported_structures, self.exported_parametric_bound
+        )
+        # Exclusion sets are refreshed from the caches (not accumulated): an
+        # entry evicted worker-side and recompiled later must ship again, and
+        # the sets must stay bounded by the cache sizes.
+        self.exported_bound = estimator.transpile_cache.export_keys()
+        self.exported_structures, self.exported_parametric_bound = (
+            estimator.parametric_transpile_cache.export_keys()
+        )
+        return _ShardResult(
+            shard_index=task.shard_index,
+            n_groups=len(task.groups),
+            n_candidates=n_candidates,
+            scores=scores,
+            engine_stats=engine_delta,
+            num_queries=estimator.num_queries - queries_before,
+            backend_executions=estimator._backend.executions - executions_before,
+            bound_stats=estimator.transpile_cache.stats.diff(bound_before),
+            parametric_stats=estimator.parametric_transpile_cache.stats.diff(
+                parametric_before
+            ),
+            bound_entries=bound_entries,
+            parametric_entries=parametric_entries,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+
+_WORKER_CONTEXT: Optional[_WorkerContext] = None
+
+
+def _init_worker(device, config, supercircuit) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = _WorkerContext(device, config, supercircuit)
+
+
+def _run_shard(task: _ShardTask) -> _ShardResult:
+    if _WORKER_CONTEXT is None:
+        raise RuntimeError("shard worker used before _init_worker ran")
+    return _WORKER_CONTEXT.run(task)
+
+
+def _ping(value: int) -> int:
+    """No-op task used by :meth:`ShardedExecutionEngine.warm_up`."""
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Parent-process scheduler
+# ---------------------------------------------------------------------------
+
+
+class ShardedExecutionEngine(ExecutionEngine):
+    """A population engine that fans structure groups out to worker processes.
+
+    Drop-in for :class:`ExecutionEngine` (it *is* one): the scorer factories,
+    sequential/real_qc fallbacks and ``noisy_expectations`` are inherited,
+    only whole-population evaluation is sharded.  Construction defaults to
+    :class:`~repro.core.estimator.EstimatorConfig` fields ``workers`` and
+    ``shard_min_group_size``; ``workers <= 1`` never creates a pool.
+
+    Call :meth:`close` (pipelines do) to shut the worker pool down.
+    """
+
+    def __init__(
+        self,
+        estimator,
+        supercircuit,
+        workers: Optional[int] = None,
+        shard_min_group_size: Optional[int] = None,
+        **engine_kwargs,
+    ) -> None:
+        super().__init__(estimator, supercircuit, **engine_kwargs)
+        config = estimator.config
+        self.workers = int(
+            getattr(config, "workers", 1) if workers is None else workers
+        )
+        self.shard_min_group_size = max(
+            1,
+            int(
+                getattr(config, "shard_min_group_size", 4)
+                if shard_min_group_size is None
+                else shard_min_group_size
+            ),
+        )
+        self.scheduler_stats = SchedulerStats()
+        self.last_shard_reports: List[dict] = []
+        # One single-process pool per shard slot, so shard i always runs in
+        # the same worker process: its caches stay warm across generations
+        # (ProcessPoolExecutor's shared task queue would hand a shard to
+        # whichever process grabbed it first, leaving warm caches behind).
+        self._executors: List[Optional[ProcessPoolExecutor]] = [None] * max(
+            0, self.workers
+        )
+        #: shard indices that raise instead of evaluating — fault-injection
+        #: seam for the degradation tests; never set in production code
+        self._fault_shards: frozenset = frozenset()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def warm_up(self) -> None:
+        """Start the worker pool ahead of time.
+
+        Benchmarks call this before timing a cold generation so process
+        startup and worker-estimator construction are not mistaken for
+        population-evaluation cost.
+        """
+        if self.workers > 1:
+            # submit every ping before gathering so the worker startups (and
+            # their estimator construction) overlap instead of serializing
+            futures = [
+                self._ensure_executor(shard_index).submit(_ping, shard_index)
+                for shard_index in range(self.workers)
+            ]
+            for future in futures:
+                future.result()
+
+    def close(self) -> None:
+        """Shut every worker pool down (idempotent)."""
+        for shard_index, executor in enumerate(self._executors):
+            if executor is not None:
+                executor.shutdown(wait=True, cancel_futures=True)
+                self._executors[shard_index] = None
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _ensure_executor(self, shard_index: int) -> ProcessPoolExecutor:
+        if self._executors[shard_index] is None:
+            # fork (where available) shares the parent's loaded modules and
+            # the initargs below copy-on-write instead of re-importing numpy
+            # and re-pickling the supercircuit per worker
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            self._executors[shard_index] = ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=multiprocessing.get_context(method),
+                initializer=_init_worker,
+                initargs=(
+                    self.estimator.device,
+                    self.estimator.config,
+                    self.supercircuit,
+                ),
+            )
+        return self._executors[shard_index]
+
+    # -- population evaluation ----------------------------------------------
+
+    def evaluate_qml_population(
+        self, candidates: Sequence, dataset, n_classes: int
+    ) -> List[float]:
+        candidates = list(candidates)
+        if not candidates or not self._shardable():
+            return super().evaluate_qml_population(candidates, dataset, n_classes)
+        features, labels = self.estimator.validation_subset(dataset)
+        payload = {
+            "kind": "qml",
+            "dataset": _ValidationView(features, labels),
+            "n_classes": int(n_classes),
+        }
+
+        def in_process(subset: list) -> List[float]:
+            return ExecutionEngine.evaluate_qml_population(
+                self, subset, dataset, n_classes
+            )
+
+        return self._evaluate_population(candidates, payload, in_process)
+
+    def evaluate_vqe_population(self, candidates: Sequence, molecule) -> List[float]:
+        candidates = list(candidates)
+        if not candidates or not self._shardable():
+            return super().evaluate_vqe_population(candidates, molecule)
+        payload = {"kind": "vqe", "molecule": molecule}
+
+        def in_process(subset: list) -> List[float]:
+            return ExecutionEngine.evaluate_vqe_population(self, subset, molecule)
+
+        return self._evaluate_population(candidates, payload, in_process)
+
+    def _shardable(self) -> bool:
+        """Whether population evaluation may leave the parent process.
+
+        ``sequential`` replays the seed path and ``real_qc`` consumes the
+        backend's rng stream in population order; both stay on the inherited
+        in-process implementations.
+        """
+        if self.mode != "batched":
+            return False
+        return self.estimator.resolve_mode(self.supercircuit.n_qubits) != "real_qc"
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _evaluate_population(
+        self,
+        candidates: list,
+        payload: dict,
+        in_process_fn: Callable[[list], List[float]],
+    ) -> List[float]:
+        groups = self._plan_groups(candidates)
+        shards = self._plan_shards(groups)
+        self.scheduler_stats.generations += 1
+        if len(shards) <= 1:
+            self.scheduler_stats.in_process_generations += 1
+            self.last_shard_reports = []
+            return self._evaluate_in_process(candidates, groups, in_process_fn)
+        try:
+            results = self._run_sharded(candidates, shards, payload)
+        except Exception as exc:  # noqa: BLE001 — degrade on any fault
+            self._degrade(exc)
+            return self._evaluate_in_process(candidates, groups, in_process_fn)
+        self.scheduler_stats.sharded_generations += 1
+        return self._merge_results(candidates, results)
+
+    def _plan_groups(self, candidates: list) -> "OrderedDict[Tuple, List[int]]":
+        """Population indices per structure group (genome gene), stably keyed."""
+        groups: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+        for index, candidate in enumerate(candidates):
+            groups.setdefault(tuple(candidate.config.as_gene()), []).append(index)
+        return groups
+
+    def _plan_shards(
+        self, groups: "OrderedDict[Tuple, List[int]]"
+    ) -> List[List[Tuple[Tuple, List[int]]]]:
+        """Deterministic group→shard assignment (contract rule 2).
+
+        Largest groups are placed first (sorted key as tie-break) onto the
+        least-loaded shard.  ``shard_min_group_size`` caps the shard count so
+        a tiny population is not spread thinner than one process dispatch is
+        worth; one shard means "stay in-process".
+        """
+        n_candidates = sum(len(indices) for indices in groups.values())
+        shard_count = min(
+            self.workers,
+            len(groups),
+            max(1, n_candidates // self.shard_min_group_size),
+        )
+        if shard_count <= 1:
+            return [list(groups.items())]
+        ordered = sorted(groups.items(), key=lambda item: (-len(item[1]), item[0]))
+        shards: List[List[Tuple[Tuple, List[int]]]] = [[] for _ in range(shard_count)]
+        loads = [0] * shard_count
+        for key, indices in ordered:
+            target = min(range(shard_count), key=lambda s: (loads[s], s))
+            shards[target].append((key, indices))
+            loads[target] += len(indices)
+        for shard in shards:
+            shard.sort(key=lambda item: item[0])
+        return shards
+
+    def _run_sharded(
+        self,
+        candidates: list,
+        shards: List[List[Tuple[Tuple, List[int]]]],
+        payload: dict,
+    ) -> List[_ShardResult]:
+        parameters = np.array(self.supercircuit.parameters, dtype=float)
+        seed = getattr(self.estimator.config, "seed", 0)
+        futures = []
+        for shard_index, shard in enumerate(shards):
+            task = _ShardTask(
+                shard_index=shard_index,
+                seed=stable_seed((seed, "shard", shard_index)),
+                parameters=parameters,
+                groups=[
+                    (key, indices, [candidates[i] for i in indices])
+                    for key, indices in shard
+                ],
+                payload=payload,
+                fail=shard_index in self._fault_shards,
+            )
+            futures.append(self._ensure_executor(shard_index).submit(_run_shard, task))
+        self.scheduler_stats.shards_dispatched += len(futures)
+        results: List[_ShardResult] = []
+        failures: List[BaseException] = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as exc:  # noqa: BLE001 — collected, then degrade
+                failures.append(exc)
+        if failures:
+            self.scheduler_stats.worker_failures += len(failures)
+            raise _ShardFailure(results, failures[0])
+        return results
+
+    # -- merging -------------------------------------------------------------
+
+    def _merge_results(
+        self, candidates: list, results: List[_ShardResult]
+    ) -> List[float]:
+        scores = [0.0] * len(candidates)
+        self.stats.populations += 1
+        self.stats.candidates += len(candidates)
+        reports: List[dict] = []
+        for result in sorted(results, key=lambda r: r.shard_index):
+            for index, score in result.scores:
+                scores[index] = score
+            self._merge_shard(result, reports)
+        self.last_shard_reports = reports
+        return scores
+
+    def _merge_shard(self, result: _ShardResult, reports: List[dict]) -> None:
+        estimator = self.estimator
+        self.stats.merge(result.engine_stats)
+        estimator.num_queries += result.num_queries
+        estimator._backend.record_executions(result.backend_executions)
+        self.transpile_cache.stats.merge(result.bound_stats)
+        self.parametric_cache.stats.merge(result.parametric_stats)
+        self._adopt_entries(result)
+        reports.append(
+            {
+                "shard": result.shard_index,
+                "groups": result.n_groups,
+                "candidates": result.n_candidates,
+                "elapsed_seconds": result.elapsed_seconds,
+                "transpile_seconds": (
+                    result.bound_stats.compile_seconds
+                    + result.parametric_stats.compile_seconds
+                    + result.parametric_stats.bind_seconds
+                ),
+            }
+        )
+
+    def _adopt_entries(self, result: _ShardResult) -> None:
+        stats = self.scheduler_stats
+        stats.adopted_bound_entries += self.transpile_cache.adopt_entries(
+            result.bound_entries
+        )
+        structures, bound = self.parametric_cache.adopt_entries(
+            result.parametric_entries
+        )
+        stats.adopted_structures += structures
+        stats.adopted_parametric_bound += bound
+
+    # -- degradation ----------------------------------------------------------
+
+    def _degrade(self, exc: Exception) -> None:
+        """Account a failed generation and prepare the in-process retry."""
+        if isinstance(exc, _ShardFailure):
+            # adopt what the healthy shards compiled so the retry is warm;
+            # their stats/scores are dropped — the retry recounts everything
+            for result in sorted(exc.results, key=lambda r: r.shard_index):
+                self._adopt_entries(result)
+            cause: BaseException = exc.cause
+        else:
+            cause = exc
+        if isinstance(cause, BrokenProcessPool):
+            # at least one pool is unusable; drop them all so the next
+            # generation restarts from fresh workers
+            try:
+                self.close()
+            except Exception:
+                self._executors = [None] * max(0, self.workers)
+        self.scheduler_stats.degraded_generations += 1
+        self.last_shard_reports = []
+        warnings.warn(
+            "sharded population evaluation degraded to the in-process path: "
+            f"{cause!r}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _evaluate_in_process(
+        self,
+        candidates: list,
+        groups: "OrderedDict[Tuple, List[int]]",
+        in_process_fn: Callable[[list], List[float]],
+    ) -> List[float]:
+        """Group-at-a-time evaluation in the parent (contract rule 1).
+
+        Used when sharding is not worth a dispatch (``workers <= 1``, tiny
+        populations) and when a generation degrades after a worker fault —
+        producing exactly the floats the sharded path would have.
+        """
+        scores = [0.0] * len(candidates)
+        populations_before = self.stats.populations
+        for indices in groups.values():
+            subset = [candidates[i] for i in indices]
+            for index, score in zip(indices, in_process_fn(subset)):
+                scores[index] = score
+        # every per-group engine call counted itself as one population; this
+        # was one generation — collapse the counter explicitly
+        self.stats.populations = populations_before + 1
+        return scores

@@ -1,0 +1,73 @@
+"""Explicit aggregation for the execution layer's counter dataclasses.
+
+Every stats object in :mod:`repro.execution` (engine counters, transpile-cache
+counters, parametric-cache counters, scheduler counters) is a flat dataclass
+of numeric fields.  Before the sharded scheduler existed they were mutated ad
+hoc wherever work happened; once the same counters live in several worker
+processes, ad-hoc mutation silently double-counts (a worker's counter and the
+parent's copy of it both grow) or silently drops fields (a hand-written merge
+forgets a newly added counter).
+
+This module makes aggregation a first-class, tested operation:
+
+* :meth:`MergeableStats.copy` — an independent snapshot;
+* :meth:`MergeableStats.diff` — the field-wise delta since a snapshot (what a
+  worker did during one task);
+* :meth:`MergeableStats.merge` — field-wise accumulation of a delta into a
+  parent counter.
+
+``diff``/``merge`` iterate :func:`dataclasses.fields`, so a counter added to
+any stats dataclass participates in sharded accounting automatically — there
+is no per-field merge code to forget to update.  The invariant the sharded
+tests pin: *parent counters after merging every shard's delta equal the
+counters a single in-process evaluation of the same population would have
+produced* (for every partition-independent field).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["MergeableStats"]
+
+
+class MergeableStats:
+    """Mixin for flat numeric counter dataclasses.
+
+    Subclasses must be dataclasses whose fields are all ``int`` or ``float``
+    counters (properties such as hit rates are derived, not fields, and are
+    therefore never aggregated — they are recomputed from the merged
+    counters).
+    """
+
+    def copy(self):
+        """An independent snapshot of the current counters."""
+        return dataclasses.replace(self)
+
+    def diff(self, baseline: "MergeableStats"):
+        """The field-wise delta accumulated since ``baseline``.
+
+        ``baseline`` must be an earlier :meth:`copy` of the same stats type;
+        the result is a new instance holding ``self - baseline`` per field.
+        """
+        self._check(baseline)
+        delta = {
+            field.name: getattr(self, field.name) - getattr(baseline, field.name)
+            for field in dataclasses.fields(self)
+        }
+        return type(self)(**delta)
+
+    def merge(self, other: "MergeableStats"):
+        """Accumulate ``other`` (typically a :meth:`diff` delta) in place."""
+        self._check(other)
+        for field in dataclasses.fields(self):
+            setattr(
+                self, field.name, getattr(self, field.name) + getattr(other, field.name)
+            )
+        return self
+
+    def _check(self, other: "MergeableStats") -> None:
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot aggregate {type(other).__name__} into {type(self).__name__}"
+            )

@@ -110,6 +110,15 @@ class CompiledCircuit:
             self._reduced = (reduced, used)
         return self._reduced
 
+    def __getstate__(self) -> dict:
+        # Both memos are derived deterministically from the compilation, so
+        # cache entries shipped between sharded-scheduler processes drop them
+        # — the pickle stays lean and the receiver re-derives on first use.
+        state = self.__dict__.copy()
+        state["_success_rate"] = None
+        state["_reduced"] = None
+        return state
+
     def summary(self) -> Dict[str, float]:
         return {
             "depth": self.depth,

@@ -74,3 +74,20 @@ def test_quantum_volume_metadata():
 
 def test_device_repr_contains_name():
     assert "yorktown" in repr(get_device("yorktown"))
+
+
+def test_device_pickle_drops_memoized_noise_model_but_not_its_values():
+    """Sharded workers reconstruct the noise model from the calibration
+    snapshot; the pickled Device must not carry the derived memo, and the
+    reconstruction must be value-identical."""
+    import pickle
+
+    device = get_device("yorktown")
+    original_model = device.noise_model()   # populate the memo
+    restored = pickle.loads(pickle.dumps(device))
+    assert restored._noise_model is None    # memo dropped in transit
+    restored_model = restored.noise_model()
+    assert restored_model.qubits == original_model.qubits
+    assert restored_model.two_qubit_errors == original_model.two_qubit_errors
+    assert restored.name == device.name
+    assert restored.topology.edges == device.topology.edges

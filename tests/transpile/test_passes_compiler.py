@@ -142,3 +142,34 @@ class TestTranspile:
         with pytest.raises(ValueError):
             transpile(QuantumCircuit(2), get_device("quito"),
                       initial_layout="magic")
+
+
+class TestCompiledCircuitPickling:
+    """Compiled circuits cross the sharded-scheduler process boundary."""
+
+    def _compiled(self):
+        circuit = QuantumCircuit(3)
+        circuit.add("h", (0,))
+        circuit.add("rz", (1,), (0.7,))
+        circuit.add("cx", (0, 2))
+        return transpile(circuit, get_device("yorktown"), optimization_level=2)
+
+    def test_pickle_drops_memos_and_rederives_identically(self):
+        import pickle
+
+        compiled = self._compiled()
+        rate = compiled.success_rate()          # populate both memos
+        reduced, used = compiled.reduced_circuit()
+        restored = pickle.loads(pickle.dumps(compiled))
+        assert restored._success_rate is None and restored._reduced is None
+        assert restored.success_rate() == rate
+        restored_reduced, restored_used = restored.reduced_circuit()
+        assert restored_used == used
+        assert [
+            (inst.gate, inst.qubits, inst.params)
+            for inst in restored_reduced.instructions
+        ] == [
+            (inst.gate, inst.qubits, inst.params)
+            for inst in reduced.instructions
+        ]
+        assert restored.final_layout == compiled.final_layout
