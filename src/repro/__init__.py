@@ -10,12 +10,14 @@ The package is organised as:
 * :mod:`repro.vqe`       — variational-quantum-eigensolver layer (molecules, UCCSD)
 * :mod:`repro.core`      — QuantumNAS itself (SuperCircuit, co-search, pruning)
 * :mod:`repro.execution` — batched population-evaluation engine for the co-search
+* :mod:`repro.backends`  — pluggable simulation backends with per-group dispatch
 * :mod:`repro.baselines` — human / random / noise-unaware baselines
 """
 
 __version__ = "0.1.0"
 
 from . import (
+    backends,
     baselines,
     core,
     devices,
@@ -29,6 +31,7 @@ from . import (
 )
 
 __all__ = [
+    "backends",
     "baselines",
     "core",
     "devices",

@@ -1,0 +1,202 @@
+"""The simulation-backend protocol behind population evaluation.
+
+The execution engine (:mod:`repro.execution`) organizes *what* to evaluate —
+genome groups, inherited weights, transpilations, score formulas.  *How* a
+compiled binding is actually simulated is a backend concern: density matrices
+with the device noise model, batched noise-free statevector trajectories, or
+finite-shot sampling on the shot-based device backend.  This module defines
+the contract the engine programs against; concrete backends live next to it
+and register themselves in :mod:`repro.backends.registry`, and the per-group
+choice is made by :class:`repro.backends.dispatch.BackendDispatcher`.
+
+Protocol
+--------
+A backend declares :class:`BackendCapabilities` and implements
+``run_group(entry, jobs)``:
+
+* ``entry`` is the structure-group context — an object with ``circuit`` (the
+  standalone :class:`~repro.quantum.circuit.ParameterizedCircuit`),
+  ``weights`` (the inherited weight vector) and a writable ``fusion_plan``
+  slot backends may use to memoize per-structure artifacts.
+* ``jobs`` is a list of :class:`SimulationJob` — each one binding (or one
+  vectorized batch of bindings) awaiting execution.
+* the return value is one :class:`JobResult` handle per scheduled binding.
+
+``run_group`` may *defer* the actual simulation: callers must invoke
+:meth:`SimulationBackend.synchronize` before reading any handle, which lets
+the density backend stack structurally aligned circuits from many submissions
+into single batched evolutions.  One backend instance serves one population
+evaluation; its counters are harvested by the engine afterwards
+(:meth:`SimulationBackend.stats_delta`).
+
+Determinism contract: given the same group (entry, jobs, seeds), a backend
+must produce bit-for-bit identical results regardless of what other groups
+run before, after or concurrently — this is what lets the sharded scheduler
+move groups between worker processes without changing a single score.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BackendCapabilities",
+    "BackendCapabilityError",
+    "SimulationJob",
+    "JobResult",
+    "SimulationBackend",
+]
+
+
+class BackendCapabilityError(RuntimeError):
+    """A backend was asked for a result kind it cannot produce."""
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a simulation backend can do — the dispatcher's decision inputs.
+
+    ``noisy``
+        simulates the device noise model (density channels or shot noise);
+    ``noise_free``
+        produces ideal (noiseless, infinite-shot) trajectories;
+    ``shot_based``
+        samples a finite number of shots (results carry sampling noise and
+        require a pinned seed to be deterministic);
+    ``observables``
+        can return expectations of arbitrary Pauli-sum observables (the VQE
+        energy path), not just Z-basis readout;
+    ``batched``
+        stacks structurally aligned bindings into one evolution;
+    ``max_qubits``
+        densest register the backend simulates exactly (``None`` when the
+        backend handles arbitrary sizes, possibly via an internal
+        approximation such as the density backend's success-rate fallback).
+    """
+
+    noisy: bool = False
+    noise_free: bool = False
+    shot_based: bool = False
+    observables: bool = False
+    batched: bool = False
+    max_qubits: Optional[int] = None
+
+
+@dataclass
+class SimulationJob:
+    """One binding (or one vectorized batch of bindings) awaiting simulation.
+
+    Exactly one of the three payload shapes is populated:
+
+    * ``compiled`` — an already-transpiled
+      :class:`~repro.transpile.compiler.CompiledCircuit` (density backend;
+      identical objects are deduplicated, so duplicated candidates simulate
+      once);
+    * ``template_batch`` — a
+      :class:`~repro.transpile.parametric.TemplateBatchBinding`, i.e. one
+      compiled structure with per-slot angle arrays covering many rows
+      (density backend fast path; yields one result handle per row);
+    * ``circuit`` + ``weights`` [+ ``features``] + ``initial_layout`` — a
+      logical binding the backend compiles/executes itself (shot backend via
+      ``QuantumBackend.run_parameterized``; statevector backend, where
+      ``features`` may be a whole ``(batch, k)`` matrix).
+
+    ``seed_key`` is a hashable tuple pinning any randomness the job consumes
+    (shot sampling).  It must be a pure function of the job's *content* —
+    never of scheduling order — so results stay independent of sharding.
+    """
+
+    compiled: Optional[object] = None
+    template_batch: Optional[object] = None
+    circuit: Optional[object] = None
+    weights: Optional[np.ndarray] = None
+    features: Optional[np.ndarray] = None
+    initial_layout: object = None
+    seed_key: Optional[Tuple] = None
+
+
+class JobResult(abc.ABC):
+    """Handle to one scheduled binding's results.
+
+    Valid only after the owning backend's :meth:`~SimulationBackend.
+    synchronize` ran.  Backends implement the result kinds their
+    capabilities advertise and raise :class:`BackendCapabilityError`
+    otherwise.
+    """
+
+    def logical_z_expectations(self, n_logical: int) -> np.ndarray:
+        """Per-logical-qubit Z expectations (QML readout)."""
+        raise BackendCapabilityError(
+            f"{type(self).__name__} does not produce Z expectations"
+        )
+
+    def probabilities(self) -> np.ndarray:
+        """Measurement probabilities over the backend's native register."""
+        raise BackendCapabilityError(
+            f"{type(self).__name__} does not produce probabilities"
+        )
+
+    def pauli_expectation(self, observable) -> float:
+        """Expectation of a Pauli-sum observable (VQE energies).
+
+        The observable must already live on the backend's native register
+        (the engine remaps logical Hamiltonians onto the compiled layout
+        before asking).
+        """
+        raise BackendCapabilityError(
+            f"{type(self).__name__} does not measure observables"
+        )
+
+    def pauli_expectations(self, observable) -> np.ndarray:
+        """Batched observable expectations, one per covered binding.
+
+        Backends whose handles cover a whole batch (the statevector forward
+        pass) override this; the default wraps the scalar
+        :meth:`pauli_expectation`, so an ``observables``-capable backend
+        only has to implement one of the two.
+        """
+        return np.asarray([self.pauli_expectation(observable)])
+
+
+class SimulationBackend(abc.ABC):
+    """Abstract base of every simulation backend.
+
+    Subclasses define ``name`` (the registry key), ``capabilities`` and
+    :meth:`run_group`; they are constructed per population evaluation with
+    the owning :class:`~repro.core.estimator.PerformanceEstimator` as sole
+    argument (everything a backend needs — device, config, shared transpile
+    caches, the shot-based device backend — hangs off it).
+    """
+
+    #: registry key; subclasses must override
+    name: str = ""
+    capabilities: BackendCapabilities = BackendCapabilities()
+
+    def __init__(self, estimator) -> None:
+        self.estimator = estimator
+        self.groups_run = 0
+        self.jobs_run = 0
+
+    @abc.abstractmethod
+    def run_group(self, entry, jobs: List[SimulationJob]) -> List[JobResult]:
+        """Schedule one structure group's jobs; one handle per binding.
+
+        Implementations may defer the simulation until :meth:`synchronize`.
+        A ``template_batch`` job expands into one handle per covered row.
+        """
+
+    def synchronize(self) -> None:
+        """Execute everything scheduled since the last synchronize (no-op
+        for backends that run eagerly)."""
+
+    def stats_delta(self) -> Dict[str, int]:
+        """Counter increments to fold into the engine's ``ExecutionStats``.
+
+        Keys must name ``ExecutionStats`` fields; unknown keys are ignored,
+        so third-party backends can expose extra counters harmlessly.
+        """
+        return {}

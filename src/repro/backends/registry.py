@@ -1,0 +1,78 @@
+"""Entry-point-style registration of simulation backends.
+
+The registry maps backend names to :class:`~repro.backends.base.
+SimulationBackend` subclasses.  The three in-tree backends register
+themselves on import; third-party backends (a GPU kernel engine, a Qiskit
+Aer adapter) register the same way:
+
+    from repro.backends import SimulationBackend, register_backend
+
+    @register_backend
+    class AerBackend(SimulationBackend):
+        name = "aer"
+        capabilities = BackendCapabilities(noisy=True, batched=True, ...)
+        def run_group(self, entry, jobs): ...
+
+and become selectable via ``EstimatorConfig(backend="aer")`` or
+``REPRO_BACKEND=aer`` with no further wiring — the dispatcher only talks to
+the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import SimulationBackend
+
+__all__ = [
+    "register_backend",
+    "unregister_backend",
+    "backend_class",
+    "available_backends",
+    "create_backend",
+]
+
+_REGISTRY: Dict[str, Type[SimulationBackend]] = {}
+
+
+def register_backend(cls: Type[SimulationBackend]) -> Type[SimulationBackend]:
+    """Class decorator: register ``cls`` under its ``name`` attribute."""
+    name = getattr(cls, "name", "")
+    if not name:
+        raise ValueError(f"{cls.__name__} must define a non-empty name")
+    if not issubclass(cls, SimulationBackend):
+        raise TypeError(f"{cls.__name__} must subclass SimulationBackend")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (primarily for tests of third-party
+    registration)."""
+    _REGISTRY.pop(name, None)
+
+
+def backend_class(name: str) -> Type[SimulationBackend]:
+    """The registered class for ``name``; raises with the known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulation backend {name!r}; "
+            f"registered backends: {available_backends()}"
+        ) from None
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, sorted for stable messages."""
+    return sorted(_REGISTRY)
+
+
+def create_backend(name: str, estimator) -> SimulationBackend:
+    """Instantiate a fresh backend bound to ``estimator``.
+
+    Backends are cheap, per-population objects — a fresh instance per
+    evaluation keeps their batching state and counters scoped to exactly one
+    population.
+    """
+    return backend_class(name)(estimator)

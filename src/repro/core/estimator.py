@@ -69,6 +69,17 @@ class EstimatorConfig:
     #: minimum candidates per shard worth one process dispatch; populations
     #: smaller than ``2 * shard_min_group_size`` evaluate in-process
     shard_min_group_size: int = 4
+    #: simulation-backend override for population evaluation (see
+    #: :mod:`repro.backends`): ``None`` lets the dispatcher pick per group by
+    #: estimator mode / qubit count; a name ("density", "statevector",
+    #: "shots", or any registered third-party backend) is applied wherever
+    #: that backend's capabilities allow and ignored elsewhere.  Defaults to
+    #: the ``REPRO_BACKEND`` environment variable (the CI matrix runs a
+    #: ``REPRO_BACKEND=statevector`` lane).  Unknown names raise when the
+    #: first execution engine is constructed.
+    backend: Optional[str] = field(
+        default_factory=lambda: os.environ.get("REPRO_BACKEND") or None
+    )
 
     def __post_init__(self) -> None:
         valid = ("auto", "noise_sim", "success_rate", "noise_free", "real_qc")
@@ -79,6 +90,8 @@ class EstimatorConfig:
         self.workers = int(self.workers)
         if self.shard_min_group_size < 1:
             raise ValueError("shard_min_group_size must be positive")
+        if self.backend is not None:
+            self.backend = str(self.backend).strip().lower() or None
 
 
 class PerformanceEstimator:

@@ -134,20 +134,20 @@ class QuantumNASQMLPipeline:
         )
         # Populations are submitted through the execution engine, which
         # batches them (sharding across worker processes when
-        # ``EstimatorConfig.workers > 1``) or replays the per-candidate seed
-        # path when ``EstimatorConfig.engine == "sequential"``.  Either way
-        # the compilations land in the estimator-owned caches that stage 5
+        # ``EstimatorConfig.workers > 1``, dispatching each structure group
+        # to a simulation backend per ``EstimatorConfig.backend`` /
+        # ``REPRO_BACKEND``) or replays the per-candidate seed path when
+        # ``EstimatorConfig.engine == "sequential"``.  Either way the
+        # compilations land in the estimator-owned caches that stage 5
         # reuses, so the sharded engine's worker pool can be shut down as
-        # soon as the search returns.
-        execution = self.estimator.population_engine(self.supercircuit)
-        try:
+        # soon as the search returns — the context manager guarantees that
+        # even when the search raises.
+        with self.estimator.population_engine(self.supercircuit) as execution:
             return engine.search(
                 population_score_fn=execution.qml_population_scorer(
                     self.dataset, self.n_classes
                 )
             )
-        finally:
-            execution.close()
 
     def train_best(self, sub_config: SubCircuitConfig):
         return train_subcircuit_qml(
@@ -300,14 +300,11 @@ class QuantumNASVQEPipeline:
             self.space, self.n_qubits, self.device, self.config.evolution
         )
         # see QuantumNASQMLPipeline.co_search — worker caches merge into the
-        # shared estimator before the pool is closed
-        execution = self.estimator.population_engine(self.supercircuit)
-        try:
+        # shared estimator before the context manager closes the pool
+        with self.estimator.population_engine(self.supercircuit) as execution:
             return engine.search(
                 population_score_fn=execution.vqe_population_scorer(self.molecule)
             )
-        finally:
-            execution.close()
 
     def measure(
         self, model: VQEModel, weights: np.ndarray, mapping: Tuple[int, ...]

@@ -50,21 +50,26 @@ def approximate_probabilities(
 
 def logical_probabilities(
     reduced_probs: np.ndarray,
-    compiled: CompiledCircuit,
+    final_layout,
     used_physical: Sequence[int],
     n_logical: int,
 ) -> np.ndarray:
     """Marginalize/reorder reduced-register probabilities onto logical qubits.
 
-    Shared between the shot-based backend and the batched population execution
-    engine so both map physical measurement outcomes identically.
+    ``final_layout`` maps logical qubits to physical ones — either the dict
+    itself or any object exposing one as ``.final_layout`` (a
+    :class:`~repro.transpile.compiler.CompiledCircuit`, a parametric
+    template).  Shared between the shot-based backend and the simulation
+    backends so every engine maps physical measurement outcomes identically.
     """
+    if not isinstance(final_layout, dict):
+        final_layout = final_layout.final_layout
     k = len(used_physical)
     probs = np.asarray(reduced_probs, dtype=float).reshape((2,) * k)
     physical_to_reduced = {phys: i for i, phys in enumerate(used_physical)}
     logical_axes = []
     for logical in range(n_logical):
-        physical = compiled.final_layout[logical]
+        physical = final_layout[logical]
         logical_axes.append(physical_to_reduced[physical])
     # Sum out every reduced axis that does not carry a logical qubit, then
     # order the remaining axes logically.
@@ -133,6 +138,17 @@ class QuantumBackend:
     def executions(self) -> int:
         """Number of circuits executed so far (the paper's #QC runs budget)."""
         return self._executions
+
+    def reseed(self, seed) -> None:
+        """Pin the shot-sampling rng stream to ``seed``.
+
+        Used wherever determinism must not depend on execution order: the
+        sharded scheduler pins each worker's stream per shard task, and the
+        shot-sampler simulation backend pins a stream per job so shot-based
+        population scores are bit-for-bit independent of grouping and worker
+        count.
+        """
+        self.rng = ensure_rng(seed)
 
     # -- execution -----------------------------------------------------------
 

@@ -40,13 +40,19 @@ Compiled circuits are treated as immutable shared state.  Both caches are
 owned by the :class:`~repro.core.estimator.PerformanceEstimator`, so they
 persist across co-search restarts and into the deploy/evaluate backend.
 
-**Batched density-matrix simulation.**  ``noise_sim`` candidates submit their
-compiled circuits to a runner that groups structurally aligned circuits
-(same gates and qubits at every position — e.g. every validation sample of a
-candidate, which differ only in encoder angles) and evolves the whole group
-as one ``(batch,) + (2,) * 2n`` density-matrix stack.  Noise channels depend
-only on gate arity and qubits, so their superoperators are derived once per
-gate position instead of once per circuit.
+**Pluggable simulation backends.**  The engine contains no simulation code of
+its own: every group's bindings are dispatched to a
+:mod:`repro.backends` engine selected by the deterministic
+:class:`~repro.backends.dispatch.BackendDispatcher` policy (estimator mode,
+qubit count, capability flags, with the ``EstimatorConfig(backend=...)`` /
+``REPRO_BACKEND`` override applied wherever capable).  ``noise_sim``
+candidates go to the batched density-matrix backend, which groups
+structurally aligned circuits (same gates and qubits at every position) and
+evolves each group as one ``(batch,) + (2,) * 2n`` density-matrix stack —
+fed, on the parametric path, straight from vectorized template bindings (one
+affine matmul per structure, no per-sample ``Instruction`` construction).
+Noise-free terms run on the batched statevector backend, and shot-based
+(real-QC-style) searches on the pinned-seed shot sampler.
 
 **Sharded multi-process scheduling.**  ``EstimatorConfig(workers=N)`` routes
 whole-population evaluation through :class:`ShardedExecutionEngine`

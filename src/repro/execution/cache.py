@@ -19,11 +19,10 @@ object.
 
 from __future__ import annotations
 
-import hashlib
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional, Tuple
+from typing import Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,10 +31,15 @@ from ..quantum.circuit import ParameterizedCircuit, QuantumCircuit
 from ..transpile.compiler import CompiledCircuit, transpile
 from ..transpile.parametric import (
     ParametricCompiledCircuit,
+    TemplateBatchBinding,
     _default_witness,
     parametric_fingerprint,
     parametric_transpile,
 )
+# Re-exported here for backwards compatibility: stable_seed grew users outside
+# the execution layer (repro.backends pins shot seeds with it) and now lives
+# with the other determinism helpers in repro.utils.rng.
+from ..utils.rng import stable_seed  # noqa: F401
 from .stats import MergeableStats
 
 __all__ = [
@@ -43,19 +47,8 @@ __all__ = [
     "TranspileCache",
     "ParametricCacheStats",
     "ParametricTranspileCache",
+    "stable_seed",
 ]
-
-
-def stable_seed(key: Tuple) -> int:
-    """A deterministic 32-bit seed derived from a hashable cache key.
-
-    ``hash()`` is salted per process for strings, so the seed is derived from
-    ``repr`` instead — cache entries (and the SABRE trials behind
-    ``optimization_level=3``) are then reproducible across processes and
-    insertion orders.
-    """
-    digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=4).digest()
-    return int.from_bytes(digest, "big")
 
 
 @dataclass
@@ -249,6 +242,11 @@ class ParametricCacheStats(MergeableStats):
     bind_evictions: int = 0
     fallbacks: int = 0
     variants_compiled: int = 0
+    #: vectorized :meth:`ParametricTranspileCache.get_bound_batch` calls and
+    #: the rows they served straight from the template (rows that crossed a
+    #: branch are re-served by ``get_bound`` and counted there)
+    batch_binds: int = 0
+    batch_rows: int = 0
     compile_seconds: float = 0.0
     bind_seconds: float = 0.0
 
@@ -535,6 +533,76 @@ class ParametricTranspileCache:
             self._bound.popitem(last=False)
             self.stats.bind_evictions += 1
         return compiled
+
+    def get_bound_batch(
+        self,
+        circuit: ParameterizedCircuit,
+        weights: np.ndarray,
+        features: np.ndarray,
+        device: Optional[Device] = None,
+        initial_layout=None,
+        optimization_level: int = 2,
+    ) -> Tuple[Optional[TemplateBatchBinding], dict]:
+        """Bind every row of ``features`` in one vectorized template fill.
+
+        The batched sibling of :meth:`get_bound` for the ``noise_sim`` hot
+        loop: one structure lookup, one affine matmul for *all* rows, no
+        per-row :class:`CompiledCircuit` construction.  Returns
+        ``(binding, fallback)`` — a
+        :class:`~repro.transpile.parametric.TemplateBatchBinding` covering
+        the rows the first template variant binds (``None`` when it binds
+        none) and a ``{row_index: CompiledCircuit}`` dict for the rows that
+        crossed a compile-time branch, each served exactly by
+        :meth:`get_bound` (variant retries, adaptive variants and the
+        bound-key fallback included).
+
+        Exactness contract: a row's angles are the same affine expressions
+        :meth:`get_bound` would evaluate, so every downstream consumer sees
+        the 1e-9-identical numbers; determinism is preserved because the
+        batch is a pure function of ``(weights, features, structure)``.
+        """
+        if device is None:
+            raise ValueError("device is required")
+        weights = np.asarray(weights, dtype=float).ravel()
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError("get_bound_batch expects a 2-D feature matrix")
+        n_rows = features.shape[0]
+        values = np.concatenate(
+            [np.broadcast_to(weights, (n_rows, weights.shape[0])), features],
+            axis=1,
+        )
+        key = self.key_for(circuit, device, initial_layout, optimization_level)
+        state = self._structure_state(key)
+        if state is None:
+            state = self._insert_structure(key)
+        if not state.variants:
+            # same hybrid witness as get_bound: real weights joined with
+            # generic nowhere-zero feature values, so a pathological first
+            # sample cannot poison the template every other sample will use
+            generic = _default_witness(features.shape[1], None)
+            state.variants.append(
+                self._compile(
+                    circuit, device, initial_layout, optimization_level,
+                    key[-1], np.concatenate([weights, generic]),
+                )
+            )
+        start = time.perf_counter()
+        ok, binding = state.variants[0].bind_batch(values)
+        self.stats.bind_seconds += time.perf_counter() - start
+        self.stats.batch_binds += 1
+        self.stats.batch_rows += int(ok.sum())
+        fallback = {}
+        for row in np.flatnonzero(~ok):
+            fallback[int(row)] = self.get_bound(
+                circuit,
+                weights,
+                features[int(row)],
+                device,
+                initial_layout=initial_layout,
+                optimization_level=optimization_level,
+            )
+        return binding, fallback
 
     # -- sharded-worker entry exchange --------------------------------------
 

@@ -6,15 +6,20 @@ strategy.  The short version:
 1.  Candidates are grouped by SubCircuit genome; the standalone circuit,
     inherited weights and gate-fusion plan are built once per unique genome
     instead of once per candidate.
-2.  The noise-free forward pass runs once per genome group with concrete gate
-    segments fused into dense ≤ ``max_fused_qubits`` unitaries (TorchQuantum
-    static mode), batched over validation samples in the
-    ``(batch,) + (2,) * n`` state layout.
-3.  Transpilations are memoized in an LRU cache keyed by the bound circuit
-    fingerprint, device, layout and optimization level.
-4.  ``noise_sim`` candidates submit their compiled circuits to a batched
-    density-matrix runner that stacks structurally aligned circuits and
-    evolves them through one sequence of (shared-noise) contractions.
+2.  Every simulation flows through a :mod:`repro.backends` engine selected
+    per structure group by the deterministic
+    :class:`~repro.backends.dispatch.BackendDispatcher` policy: noise-free
+    terms run on the batched statevector backend, ``noise_sim`` terms on the
+    batched density-matrix backend, and shot-based (real-QC-style) searches
+    on the pinned-seed shot sampler.  The engine itself contains no
+    simulation code — it organizes groups, transpilations and score
+    formulas.
+3.  Transpilations are memoized in the estimator-owned caches; on the
+    parametric path each (genome, mapping) structure is compiled once and
+    every validation sample's angles come out of a single vectorized
+    template bind (one affine matmul per structure — see
+    :meth:`~repro.execution.cache.ParametricTranspileCache.get_bound_batch`)
+    consumed directly by the density backend.
 
 ``mode="sequential"`` reproduces the seed per-candidate estimator calls
 bit-for-bit and is the reference the equivalence tests pin the batched mode
@@ -29,26 +34,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..devices.backend import approximate_probabilities, logical_probabilities
+from ..backends import BackendDispatcher, DispatchRequest, SimulationJob
 from ..qml.qnn import readout_matrix
-from ..quantum.circuit import Instruction, ParameterizedCircuit, QuantumCircuit
-from ..quantum.density_matrix import (
-    apply_kraus_batch,
-    apply_unitary_batch,
-    density_probabilities,
-    expectation_pauli_sum_dm,
-    zero_density_matrices,
-)
-from ..quantum.fusion import fuse_circuit
-from ..quantum.statevector import (
-    apply_matrix,
-    expectation_pauli_sum,
-    expectation_z_all,
-    op_matrix,
-    zero_state,
-)
+from ..quantum.circuit import ParameterizedCircuit
 from ..utils.stats import nll_loss, softmax
-from .cache import ParametricTranspileCache, TranspileCache
+from .cache import (
+    ParametricTranspileCache,
+    TranspileCache,
+    _normalize_layout,
+)
 from .stats import MergeableStats
 
 __all__ = ["ExecutionStats", "ExecutionEngine"]
@@ -64,6 +58,11 @@ class ExecutionStats(MergeableStats):
     :meth:`repro.execution.scheduler.ShardedExecutionEngine`); the remaining
     fields are sub-population work counters that sum across shards.
     Aggregation goes through :class:`~repro.execution.stats.MergeableStats`.
+
+    The ``density_* / statevector_* / template_* / shot_*`` fields are the
+    per-backend counters harvested from the :mod:`repro.backends` engines
+    after every population (each backend's
+    :meth:`~repro.backends.base.SimulationBackend.stats_delta`).
     """
 
     populations: int = 0
@@ -72,6 +71,13 @@ class ExecutionStats(MergeableStats):
     fused_segments: int = 0
     density_batches: int = 0
     density_circuits: int = 0
+    #: density batches fed straight from vectorized template bindings (no
+    #: per-sample Instruction construction)
+    template_batches: int = 0
+    #: whole-batch noise-free forward passes on the statevector backend
+    statevector_batches: int = 0
+    #: circuits executed through the pinned-seed shot-sampler backend
+    shot_circuits: int = 0
     sequential_fallbacks: int = 0
 
 
@@ -82,164 +88,17 @@ class ExecutionStats(MergeableStats):
 
 @dataclass
 class _StructureEntry:
-    """Standalone circuit + inherited weights for one SubCircuit genome."""
+    """Standalone circuit + inherited weights for one SubCircuit genome.
+
+    This is the group context handed to simulation backends: ``circuit`` and
+    ``weights`` define the structure, ``fusion_plan`` is a memoization slot
+    the statevector backend fills (see :mod:`repro.backends.base`).
+    """
 
     circuit: ParameterizedCircuit
     weights: np.ndarray
     fusion_plan: Optional[List[Tuple[str, object]]] = None
 
-
-# ---------------------------------------------------------------------------
-# Batched density-matrix runner
-# ---------------------------------------------------------------------------
-
-
-class _DensityJob:
-    """One unique compiled circuit awaiting noisy simulation."""
-
-    __slots__ = (
-        "compiled", "reduced", "used_physical", "noise_model", "rho",
-        "reduced_probs", "_probs_with_readout", "_logical_expectations",
-    )
-
-    def __init__(self, compiled) -> None:
-        self.compiled = compiled
-        self.reduced, self.used_physical = compiled.reduced_circuit()
-        self.noise_model = None
-        self.rho: Optional[np.ndarray] = None
-        self.reduced_probs: Optional[np.ndarray] = None
-        self._probs_with_readout: Optional[np.ndarray] = None
-        self._logical_expectations: Dict[int, np.ndarray] = {}
-
-    @property
-    def n_reduced(self) -> int:
-        return self.reduced.n_qubits
-
-    def probabilities(self) -> np.ndarray:
-        """Reduced-register probabilities, matching the shot-based backend."""
-        if self._probs_with_readout is None:
-            if self.reduced_probs is not None:
-                # large-circuit approximation — no readout confusion, exactly
-                # like QuantumBackend._approximate_probabilities
-                self._probs_with_readout = self.reduced_probs
-            else:
-                probs = density_probabilities(self.rho)
-                if self.noise_model is not None:
-                    probs = self.noise_model.apply_readout_error(
-                        probs, self.n_reduced
-                    )
-                self._probs_with_readout = probs
-        return self._probs_with_readout
-
-    def logical_z_expectations(self, n_logical: int) -> np.ndarray:
-        """Per-logical-qubit Z expectations, matching ``BackendResult``."""
-        n_logical = int(n_logical)
-        if n_logical not in self._logical_expectations:
-            probs = logical_probabilities(
-                self.probabilities(), self.compiled, self.used_physical, n_logical
-            ).reshape((2,) * n_logical)
-            out = np.zeros(n_logical)
-            for qubit in range(n_logical):
-                axes = tuple(a for a in range(n_logical) if a != qubit)
-                marginal = probs.sum(axis=axes)
-                out[qubit] = marginal[0] - marginal[1]
-            self._logical_expectations[n_logical] = out
-        return self._logical_expectations[n_logical]
-
-
-class _BatchedDensityRunner:
-    """Groups compiled circuits by structure and simulates each group batched.
-
-    Equivalence contract: every job's result is produced by the same sequence
-    of unitary/Kraus applications that :class:`DensityMatrixSimulator` would
-    perform sample-by-sample — the batch dimension only stacks them.  Noise
-    channels depend on gate arity and qubits (never parameters), so within a
-    structurally aligned group they are derived once per position instead of
-    once per circuit.
-    """
-
-    #: soft cap on (batch * 4**n) elements of one density-matrix stack
-    MAX_STACK_ELEMENTS = 1 << 21
-
-    def __init__(self, device, max_density_qubits: int) -> None:
-        self.device = device
-        self.max_density_qubits = int(max_density_qubits)
-        self._noise_model = None
-        self._jobs: Dict[int, _DensityJob] = {}       # id(compiled) -> job
-        self._pending: "OrderedDict[int, _DensityJob]" = OrderedDict()
-        self.batches_run = 0
-
-    def job_for(self, compiled) -> _DensityJob:
-        """The (deduplicated) job for a compiled circuit."""
-        job = self._jobs.get(id(compiled))
-        if job is None:
-            job = _DensityJob(compiled)
-            self._jobs[id(compiled)] = job
-        return job
-
-    def enqueue(self, job: _DensityJob) -> _DensityJob:
-        self._pending.setdefault(id(job.compiled), job)
-        return job
-
-    def submit(self, compiled) -> _DensityJob:
-        return self.enqueue(self.job_for(compiled))
-
-    # -- execution -----------------------------------------------------------
-
-    def _device_noise_model(self):
-        if self._noise_model is None:
-            self._noise_model = self.device.noise_model()
-        return self._noise_model
-
-    def run(self) -> None:
-        """Simulate all pending jobs, batched by reduced-circuit structure."""
-        groups: "OrderedDict[Tuple, List[_DensityJob]]" = OrderedDict()
-        for job in self._pending.values():
-            if job.rho is not None or job.reduced_probs is not None:
-                continue
-            key = (
-                tuple(job.used_physical),
-                tuple(
-                    (inst.gate, inst.qubits) for inst in job.reduced.instructions
-                ),
-            )
-            groups.setdefault(key, []).append(job)
-        self._pending.clear()
-
-        for (used_physical, _structure), jobs in groups.items():
-            noise_model = self._device_noise_model().reduced(used_physical)
-            n_reduced = jobs[0].n_reduced
-            if n_reduced > self.max_density_qubits:
-                # success-rate (global depolarizing) approximation, exactly as
-                # QuantumBackend falls back for large circuits
-                for job in jobs:
-                    job.noise_model = noise_model
-                    job.reduced_probs = approximate_probabilities(
-                        job.reduced, noise_model
-                    )
-                continue
-            max_batch = max(1, self.MAX_STACK_ELEMENTS // 4**n_reduced)
-            for start in range(0, len(jobs), max_batch):
-                self._run_group(jobs[start: start + max_batch], noise_model)
-
-    def _run_group(self, jobs: Sequence[_DensityJob], noise_model) -> None:
-        self.batches_run += 1
-        n = jobs[0].n_reduced
-        rhos = zero_density_matrices(n, len(jobs))
-        n_instructions = len(jobs[0].reduced.instructions)
-        for position in range(n_instructions):
-            instructions = [job.reduced.instructions[position] for job in jobs]
-            first = instructions[0]
-            if all(inst.params == first.params for inst in instructions):
-                matrix = first.matrix()
-            else:
-                matrix = np.stack([inst.matrix() for inst in instructions])
-            rhos = apply_unitary_batch(rhos, matrix, first.qubits)
-            for kraus_ops, qubits in noise_model.channels_for(first):
-                rhos = apply_kraus_batch(rhos, kraus_ops, qubits)
-        for index, job in enumerate(jobs):
-            job.noise_model = noise_model
-            job.rho = rhos[index]
 
 # ---------------------------------------------------------------------------
 # The engine
@@ -252,6 +111,8 @@ class ExecutionEngine:
     Parameters default to the estimator's :class:`EstimatorConfig` fields
     (``engine``, ``fusion``, ``max_fused_qubits``, ``transpile_cache_size``),
     so pipelines only need ``ExecutionEngine(estimator, supercircuit)``.
+    Engines are context managers: ``with estimator.population_engine(sc) as
+    engine: ...`` releases any scheduler resources on exit.
     """
 
     _STRUCTURE_CACHE_SIZE = 256
@@ -308,18 +169,30 @@ class ExecutionEngine:
             if parametric_transpile is None
             else parametric_transpile
         )
+        #: per-group backend selection policy; rebuilt identically inside
+        #: every sharded worker from the pickled estimator config
+        self.dispatcher = BackendDispatcher(estimator)
         self.stats = ExecutionStats()
         self._qml_structures: "OrderedDict[Tuple, _StructureEntry]" = OrderedDict()
         self._vqe_structures: "OrderedDict[Tuple, _StructureEntry]" = OrderedDict()
         self._readouts: Dict[Tuple[int, int], np.ndarray] = {}
         self._params_snapshot: Optional[bytes] = None
 
+    # -- lifecycle -------------------------------------------------------------
+
     def close(self) -> None:
-        """Release scheduler resources (a no-op for the in-process engine).
+        """Release scheduler resources (idempotent; a no-op in-process).
 
         Exists so pipelines can close any population engine uniformly — the
         sharded subclass shuts its worker pool down here.
         """
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # -- scorer factories (what the evolution engine consumes) -----------------
 
@@ -341,6 +214,64 @@ class ExecutionEngine:
 
         return scorer
 
+    # -- backend plumbing -------------------------------------------------------
+
+    def _shot_dispatch_opt_in(self) -> bool:
+        """Whether a backend override opts real_qc into batched dispatch.
+
+        Only a *shot-capable* override (e.g. ``backend="shots"``) changes the
+        real_qc path — its scores are intentionally different (pinned-seed
+        draws instead of the population-order stream).  An incapable
+        override is ignored, matching the dispatcher's contract that ignored
+        overrides never change a score.
+        """
+        override = self.dispatcher.override
+        if override is None:
+            return False
+        from ..backends import backend_class
+
+        return backend_class(override).capabilities.shot_based
+
+    def _backend_instance(self, backends: Dict[str, object], name: str):
+        """One backend instance per name per population evaluation."""
+        backend = backends.get(name)
+        if backend is None:
+            backend = self.dispatcher.create(name)
+            if name == "statevector":
+                # the engine's fusion settings may override the config's
+                # (the fusion=False regression seam)
+                backend.fusion = self.fusion
+                backend.max_fused_qubits = self.max_fused_qubits
+            backends[name] = backend
+        return backend
+
+    def _synchronize(self, backends: Dict[str, object]) -> None:
+        for backend in backends.values():
+            backend.synchronize()
+
+    def _merge_backend_stats(self, backends: Dict[str, object]) -> None:
+        """Fold every backend's counters into :attr:`stats`."""
+        for backend in backends.values():
+            for field, delta in backend.stats_delta().items():
+                if hasattr(self.stats, field):
+                    setattr(self.stats, field, getattr(self.stats, field) + delta)
+
+    def _statevector(self, backends: Dict[str, object], mode: str, n_qubits: int,
+                     needs_observables: bool = False):
+        """The noise-free backend for this population (usually statevector).
+
+        The dispatch request's mode is the group's resolved estimator mode
+        when that mode is itself noise-free, and ``"noise_free"`` for the
+        noise-free probes the noisy modes embed (success-rate numerators,
+        VQE energy probes).
+        """
+        request = DispatchRequest(
+            mode=mode if mode in ("noise_free", "success_rate") else "noise_free",
+            n_qubits=n_qubits,
+            needs_observables=needs_observables,
+        )
+        return self._backend_instance(backends, self.dispatcher.select(request))
+
     # -- population evaluation: QML ---------------------------------------------
 
     def evaluate_qml_population(
@@ -360,9 +291,14 @@ class ExecutionEngine:
         self._maybe_invalidate_structures()
         n_qubits = self.supercircuit.n_qubits
         mode = estimator.resolve_mode(n_qubits)
-        if mode == "real_qc":
-            # shot sampling consumes the backend rng stream per candidate, in
-            # population order; batching would reorder the draws
+        if mode == "real_qc" and not self._shot_dispatch_opt_in():
+            # the historical real_qc path consumes the backend rng stream per
+            # candidate in population order; batching would reorder the
+            # draws.  Explicitly overriding to a shot-capable backend (the
+            # pinned-seed shot sampler) opts into the deterministic batched
+            # protocol instead; any other override is ignored here exactly
+            # like dispatch ignores incapable overrides — scores must stay
+            # identical to the default lanes.
             self.stats.sequential_fallbacks += len(candidates)
             return [
                 self._sequential_qml(candidate, dataset, n_classes)
@@ -376,12 +312,16 @@ class ExecutionEngine:
         groups = self._group(candidates, include_encoder=True)
         self.stats.config_groups += len(groups)
         scores = [0.0] * len(candidates)
+        backends: Dict[str, object] = {}
 
         if mode == "noise_free":
             for entry, indices in groups:
-                loss = self._qml_noise_free_loss(entry, features, labels, n_classes)
+                loss = self._qml_noise_free_loss(
+                    backends, mode, entry, features, labels, n_classes
+                )
                 for index in indices:
                     scores[index] = loss
+            self._merge_backend_stats(backends)
             return scores
 
         if mode == "success_rate":
@@ -391,7 +331,9 @@ class ExecutionEngine:
             # behind success_rate()); warm populations hit the cache as before
             optimization_level = estimator.config.optimization_level
             for entry, indices in groups:
-                loss = self._qml_noise_free_loss(entry, features, labels, n_classes)
+                loss = self._qml_noise_free_loss(
+                    backends, mode, entry, features, labels, n_classes
+                )
                 bound = entry.circuit.bind(entry.weights, features[0])
                 for index in indices:
                     compiled = self.transpile_cache.get(
@@ -401,54 +343,145 @@ class ExecutionEngine:
                         optimization_level=optimization_level,
                     )
                     scores[index] = loss / compiled.success_rate()
+            self._merge_backend_stats(backends)
             return scores
 
-        # noise_sim: batched density-matrix simulation over every validation
-        # sample of every candidate — transpiled once per (genome, mapping)
-        # structure and re-bound per sample on the parametric path
-        runner = _BatchedDensityRunner(
-            estimator.device, estimator.config.max_density_qubits
-        )
-        optimization_level = estimator.config.optimization_level
-        jobs_by_candidate: Dict[int, List[_DensityJob]] = {}
+        # noise_sim (or an overridden real_qc): per-sample expectations from
+        # the dispatched backend — density matrices batched per structure and
+        # fed from vectorized template bindings on the parametric path, or
+        # pinned-seed shot sampling when dispatch selects the shot backend
+        handles_by_candidate: Dict[int, List[object]] = {}
+        density_rows = 0
         for entry, indices in groups:
-            if self.parametric_transpile:
-                for index in indices:
-                    mapping = candidates[index].mapping
-                    jobs_by_candidate[index] = [
-                        runner.submit(self._compile_parametric(entry, mapping, row))
-                        for row in features
-                    ]
-                continue
-            bound_rows = [
-                entry.circuit.bind(entry.weights, row) for row in features
-            ]
+            request = DispatchRequest(mode=mode, n_qubits=entry.circuit.n_qubits)
+            backend = self._backend_instance(
+                backends, self.dispatcher.select(request)
+            )
+            if not backend.capabilities.shot_based:
+                density_rows += len(indices) * len(features)
+            gene_key = tuple(candidates[indices[0]].config.as_gene())
+            handles_by_mapping: Dict[object, List[object]] = {}
+            bound_rows: Optional[list] = None
             for index in indices:
                 mapping = candidates[index].mapping
-                jobs_by_candidate[index] = [
-                    runner.submit(
-                        self.transpile_cache.get(
-                            bound,
-                            estimator.device,
-                            initial_layout=mapping,
-                            optimization_level=optimization_level,
+                mapping_key = _normalize_layout(mapping)
+                handles = handles_by_mapping.get(mapping_key)
+                if handles is None:
+                    if backend.capabilities.shot_based:
+                        handles = self._schedule_shot_rows(
+                            backend, entry, gene_key, mapping, features
                         )
-                    )
-                    for bound in bound_rows
-                ]
-        runner.run()
-        self.stats.density_batches += runner.batches_run
-        self.stats.density_circuits += len(candidates) * len(features)
+                    else:
+                        if bound_rows is None and not self.parametric_transpile:
+                            bound_rows = [
+                                entry.circuit.bind(entry.weights, row)
+                                for row in features
+                            ]
+                        handles = self._schedule_density_rows(
+                            backend, entry, mapping, features, bound_rows
+                        )
+                    handles_by_mapping[mapping_key] = handles
+                handles_by_candidate[index] = handles
+        self._synchronize(backends)
+        self.stats.density_circuits += density_rows
         estimator._backend.record_executions(len(candidates) * len(features))
 
         readout = self._readout_matrix(n_qubits, n_classes)
-        for index, jobs in jobs_by_candidate.items():
+        for index, handles in handles_by_candidate.items():
             expectations = np.stack(
-                [job.logical_z_expectations(n_qubits) for job in jobs]
+                [handle.logical_z_expectations(n_qubits) for handle in handles]
             )
             logits = expectations @ readout.T
             scores[index] = nll_loss(softmax(logits), labels)
+        self._merge_backend_stats(backends)
         return scores
+
+    def _schedule_shot_rows(
+        self, backend, entry: _StructureEntry, gene_key, mapping, features
+    ) -> List[object]:
+        """Per-sample shot jobs with seeds pinned to (genome, mapping, row)."""
+        mapping_key = _normalize_layout(mapping)
+        jobs = [
+            SimulationJob(
+                circuit=entry.circuit,
+                weights=entry.weights,
+                features=row,
+                initial_layout=mapping,
+                seed_key=(gene_key, mapping_key, row_index),
+            )
+            for row_index, row in enumerate(features)
+        ]
+        return backend.run_group(entry, jobs)
+
+    def _schedule_density_rows(
+        self,
+        backend,
+        entry: _StructureEntry,
+        mapping,
+        features,
+        bound_rows: Optional[list],
+    ) -> List[object]:
+        """Density jobs for every validation sample of one (genome, mapping).
+
+        On the parametric path the whole sample batch binds through one
+        vectorized template fill; rows that cross a compile-time branch —
+        and structures whose reduced register exceeds the density limit,
+        whose large-circuit approximation needs concrete reduced circuits —
+        fall back to per-row compiled jobs, exactly as before.
+        """
+        estimator = self.estimator
+        optimization_level = estimator.config.optimization_level
+        if bound_rows is not None:
+            jobs = [
+                SimulationJob(
+                    compiled=self.transpile_cache.get(
+                        bound,
+                        estimator.device,
+                        initial_layout=mapping,
+                        optimization_level=optimization_level,
+                    )
+                )
+                for bound in bound_rows
+            ]
+            return backend.run_group(entry, jobs)
+
+        binding, fallback = self.parametric_cache.get_bound_batch(
+            entry.circuit,
+            entry.weights,
+            features,
+            estimator.device,
+            initial_layout=mapping,
+            optimization_level=optimization_level,
+        )
+        max_density = estimator.config.max_density_qubits
+        if binding is None or binding.n_reduced > max_density:
+            compiled_by_row = dict(fallback)
+            for row in range(len(features)):
+                if row not in compiled_by_row:
+                    compiled_by_row[row] = self._compile_parametric(
+                        entry, mapping, features[row]
+                    )
+            return backend.run_group(
+                entry,
+                [
+                    SimulationJob(compiled=compiled_by_row[row])
+                    for row in range(len(features))
+                ],
+            )
+        handles: List[object] = [None] * len(features)
+        batch_handles = backend.run_group(
+            entry, [SimulationJob(template_batch=binding)]
+        )
+        for handle, row in zip(batch_handles, binding.rows):
+            handles[int(row)] = handle
+        if fallback:
+            fallback_handles = backend.run_group(
+                entry,
+                [SimulationJob(compiled=compiled) for compiled in fallback.values()],
+            )
+            for row, handle in zip(fallback.keys(), fallback_handles):
+                handles[int(row)] = handle
+        return handles
 
     # -- population evaluation: VQE ---------------------------------------------
 
@@ -467,6 +500,8 @@ class ExecutionEngine:
         n_qubits = self.supercircuit.n_qubits
         mode = estimator.resolve_mode(n_qubits)
         if mode == "real_qc":
+            # the shot backend cannot measure Pauli-sum observables; VQE
+            # real_qc always takes the sequential measurement-plan path
             self.stats.sequential_fallbacks += len(candidates)
             return [
                 self._sequential_vqe(candidate, molecule) for candidate in candidates
@@ -479,30 +514,47 @@ class ExecutionEngine:
         groups = self._group(candidates, include_encoder=False)
         self.stats.config_groups += len(groups)
         scores = [0.0] * len(candidates)
+        backends: Dict[str, object] = {}
 
         noise_free: Dict[int, float] = {}
         for group_index, (entry, indices) in enumerate(groups):
-            states = self._forward_states(entry, features=None, batch=1)
+            statevector = self._statevector(
+                backends, mode, entry.circuit.n_qubits, needs_observables=True
+            )
+            handle = statevector.run_group(entry, [SimulationJob()])[0]
             noise_free[group_index] = float(
-                expectation_pauli_sum(states, hamiltonian)[0]
+                handle.pauli_expectations(hamiltonian)[0]
             )
 
         if mode == "noise_free":
             for group_index, (entry, indices) in enumerate(groups):
                 for index in indices:
                     scores[index] = noise_free[group_index]
+            self._merge_backend_stats(backends)
             return scores
 
         optimization_level = estimator.config.optimization_level
         max_density = estimator.config.max_density_qubits
         mixed_energy = hamiltonian.constant
-        runner = _BatchedDensityRunner(estimator.device, max_density)
-        density_jobs: List[Tuple[int, _DensityJob]] = []
+        #: ``(population index, compiled, used_physical, handle)`` per noisy job
+        density_jobs: List[Tuple[int, object, Tuple[int, ...], object]] = []
 
         use_parametric = self.parametric_transpile and mode == "noise_sim"
         for group_index, (entry, indices) in enumerate(groups):
             energy = noise_free[group_index]
             bound = None if use_parametric else entry.circuit.bind(entry.weights)
+            if mode == "noise_sim":
+                request = DispatchRequest(
+                    mode=mode,
+                    n_qubits=entry.circuit.n_qubits,
+                    needs_observables=True,
+                )
+                backend = self._backend_instance(
+                    backends, self.dispatcher.select(request)
+                )
+            else:
+                backend = None
+            group_jobs: List[Tuple[int, object, Tuple[int, ...]]] = []
             for index in indices:
                 if bound is None:
                     compiled = self._compile_parametric(
@@ -519,32 +571,46 @@ class ExecutionEngine:
                     rate = compiled.success_rate()
                     scores[index] = rate * energy + (1.0 - rate) * mixed_energy
                     continue
-                # noise_sim
-                job = runner.job_for(compiled)
-                if job.n_reduced > max_density:
+                # noise_sim: the reduced register is compile metadata
+                # (memoized on the compiled circuit), so the oversized
+                # check stays in the engine and only simulatable circuits
+                # reach the backend
+                _reduced, used_physical = compiled.reduced_circuit()
+                if len(used_physical) > max_density:
                     rate = compiled.success_rate()
                     scores[index] = rate * energy + (1.0 - rate) * mixed_energy
                 else:
-                    runner.enqueue(job)
-                    density_jobs.append((index, job))
+                    group_jobs.append((index, compiled, used_physical))
+            if group_jobs:
+                handles = backend.run_group(
+                    entry,
+                    [
+                        SimulationJob(compiled=compiled)
+                        for _index, compiled, _used in group_jobs
+                    ],
+                )
+                density_jobs.extend(
+                    (index, compiled, used_physical, handle)
+                    for (index, compiled, used_physical), handle in zip(
+                        group_jobs, handles
+                    )
+                )
 
         if density_jobs:
-            runner.run()
-            self.stats.density_batches += runner.batches_run
+            self._synchronize(backends)
             self.stats.density_circuits += len(density_jobs)
             # unlike the QML path, the sequential VQE estimator simulates
             # density matrices itself without charging the backend, so no
             # record_executions here — the #QC-runs metric must match
             remapped_cache: Dict[int, object] = {}
-            for index, job in density_jobs:
-                key = id(job)
+            for index, compiled, used_physical, handle in density_jobs:
+                key = id(compiled)
                 if key not in remapped_cache:
                     remapped_cache[key] = estimator.remap_hamiltonian(
-                        hamiltonian, job.compiled, job.used_physical
+                        hamiltonian, compiled, used_physical
                     )
-                scores[index] = expectation_pauli_sum_dm(
-                    job.rho, remapped_cache[key]
-                )
+                scores[index] = handle.pauli_expectation(remapped_cache[key])
+        self._merge_backend_stats(backends)
         return scores
 
     # -- noisy expectations (public so tests can pin the batched path) ----------
@@ -560,12 +626,11 @@ class ExecutionEngine:
 
         Matches ``QuantumBackend.run(circuit.bind(weights, row), ...)`` with
         ``shots=0``, sample by sample, but runs every sample through one
-        batched density-matrix evolution.
+        batched density-matrix evolution.  Always the density backend — this
+        is the simulator-exact path the deploy/evaluate helpers pin against.
         """
         estimator = self.estimator
-        runner = _BatchedDensityRunner(
-            estimator.device, estimator.config.max_density_qubits
-        )
+        backend = self.dispatcher.create("density")
         jobs = []
         for row in np.atleast_2d(features):
             if self.parametric_transpile:
@@ -584,10 +649,11 @@ class ExecutionEngine:
                     initial_layout=mapping,
                     optimization_level=estimator.config.optimization_level,
                 )
-            jobs.append(runner.submit(compiled))
-        runner.run()
+            jobs.append(SimulationJob(compiled=compiled))
+        handles = backend.run_group(None, jobs)
+        backend.synchronize()
         return np.stack(
-            [job.logical_z_expectations(circuit.n_qubits) for job in jobs]
+            [handle.logical_z_expectations(circuit.n_qubits) for handle in handles]
         )
 
     # -- sequential reference paths ---------------------------------------------
@@ -672,72 +738,17 @@ class ExecutionEngine:
 
     def _qml_noise_free_loss(
         self,
+        backends: Dict[str, object],
+        mode: str,
         entry: _StructureEntry,
         features: np.ndarray,
         labels: np.ndarray,
         n_classes: int,
     ) -> float:
-        states = self._forward_states(entry, features=features)
-        expectations = expectation_z_all(states)
+        statevector = self._statevector(backends, mode, entry.circuit.n_qubits)
+        handle = statevector.run_group(entry, [SimulationJob(features=features)])[0]
+        expectations = handle.logical_z_expectations(entry.circuit.n_qubits)
         logits = expectations @ self._readout_matrix(
             entry.circuit.n_qubits, n_classes
         ).T
         return nll_loss(softmax(logits), labels)
-
-    # -- fused forward pass -------------------------------------------------------
-
-    def _fusion_plan(self, entry: _StructureEntry) -> List[Tuple[str, object]]:
-        """Fuse concrete (weight/const) segments; keep encoder ops dynamic."""
-        if entry.fusion_plan is not None:
-            return entry.fusion_plan
-        circuit, weights = entry.circuit, entry.weights
-        plan: List[Tuple[str, object]] = []
-        segment: List[Instruction] = []
-
-        def flush() -> None:
-            if not segment:
-                return
-            concrete = QuantumCircuit(circuit.n_qubits, list(segment))
-            for block in fuse_circuit(concrete, self.max_fused_qubits):
-                plan.append(("fused", block))
-            self.stats.fused_segments += 1
-            segment.clear()
-
-        for op in circuit.ops:
-            if op.uses_input:
-                flush()
-                plan.append(("dynamic", op))
-            else:
-                params = circuit.resolve_params(op, weights)
-                segment.append(Instruction(op.gate, op.qubits, tuple(params)))
-        flush()
-        entry.fusion_plan = plan
-        return plan
-
-    def _forward_states(
-        self,
-        entry: _StructureEntry,
-        features: Optional[np.ndarray] = None,
-        batch: int = 1,
-    ) -> np.ndarray:
-        """Statevector forward pass with static-mode fusion when enabled."""
-        circuit, weights = entry.circuit, entry.weights
-        if features is not None:
-            features = np.asarray(features, dtype=float)
-            if features.ndim == 1:
-                features = features[None, :]
-            batch = features.shape[0]
-        if not self.fusion:
-            from ..quantum.statevector import run_parameterized
-
-            return run_parameterized(circuit, weights, features, batch=batch)
-        states = zero_state(circuit.n_qubits, batch)
-        for kind, payload in self._fusion_plan(entry):
-            if kind == "fused":
-                states = apply_matrix(states, payload.matrix, payload.qubits)
-            else:
-                params = circuit.resolve_params(payload, weights, features)
-                states = apply_matrix(
-                    states, op_matrix(payload.gate, params), payload.qubits
-                )
-        return states

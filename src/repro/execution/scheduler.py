@@ -170,7 +170,7 @@ class _WorkerContext:
             self.supercircuit.parameters = np.array(task.parameters, dtype=float)
         estimator = self.estimator
         estimator.rng = ensure_rng(task.seed)
-        estimator._backend.rng = ensure_rng(task.seed)
+        estimator._backend.reseed(task.seed)
 
         engine_before = self.engine.stats.copy()
         bound_before = estimator.transpile_cache.stats.copy()
@@ -263,7 +263,14 @@ class ShardedExecutionEngine(ExecutionEngine):
     :class:`~repro.core.estimator.EstimatorConfig` fields ``workers`` and
     ``shard_min_group_size``; ``workers <= 1`` never creates a pool.
 
-    Call :meth:`close` (pipelines do) to shut the worker pool down.
+    Simulation-backend dispatch (:mod:`repro.backends`) composes with
+    sharding without any payload changes: backend selection is a pure
+    function of the estimator config that ships to workers anyway, so every
+    worker's engine rebuilds an identical dispatcher and ``_ShardTask``
+    carries no backend state.
+
+    Call :meth:`close` (pipelines do, via the context-manager protocol) to
+    shut the worker pool down.
     """
 
     def __init__(
@@ -320,13 +327,25 @@ class ShardedExecutionEngine(ExecutionEngine):
                 future.result()
 
     def close(self) -> None:
-        """Shut every worker pool down (idempotent)."""
-        for shard_index, executor in enumerate(self._executors):
+        """Shut every worker pool down (idempotent).
+
+        Safe to call repeatedly, from ``__exit__`` (engines are context
+        managers) and from ``__del__`` — including on a partially
+        constructed instance whose ``__init__`` raised before the executor
+        slots existed — so interrupted benchmarks and aborted searches never
+        leak worker processes.
+        """
+        executors = getattr(self, "_executors", None)
+        if not executors:
+            super().close()
+            return
+        for shard_index, executor in enumerate(executors):
             if executor is not None:
                 executor.shutdown(wait=True, cancel_futures=True)
-                self._executors[shard_index] = None
+                executors[shard_index] = None
+        super().close()
 
-    def __del__(self) -> None:  # best-effort; close() is the real API
+    def __del__(self) -> None:  # best-effort; close()/__exit__ is the real API
         try:
             self.close()
         except Exception:

@@ -37,12 +37,23 @@ class MergeableStats:
     Subclasses must be dataclasses whose fields are all ``int`` or ``float``
     counters (properties such as hit rates are derived, not fields, and are
     therefore never aggregated — they are recomputed from the merged
-    counters).
+    counters).  The per-backend counters the execution engine harvests from
+    :mod:`repro.backends` engines follow the same rule: backends report flat
+    deltas (:meth:`~repro.backends.base.SimulationBackend.stats_delta`) that
+    are added into ``ExecutionStats`` fields, so they shard, diff and merge
+    like every other counter with no special cases.
     """
 
     def copy(self):
         """An independent snapshot of the current counters."""
         return dataclasses.replace(self)
+
+    def to_dict(self) -> dict:
+        """Field name → value, for JSON reports (benchmarks, shard logs)."""
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
 
     def diff(self, baseline: "MergeableStats"):
         """The field-wise delta accumulated since ``baseline``.

@@ -72,6 +72,7 @@ from .routing import route_circuit
 __all__ = [
     "ParametricBindMismatch",
     "ParametricCompiledCircuit",
+    "TemplateBatchBinding",
     "parametric_transpile",
     "parametric_fingerprint",
     "num_feature_params",
@@ -1131,6 +1132,149 @@ class ParametricCompiledCircuit:
             return self.bind(values)
         except ParametricBindMismatch:
             return None
+
+    # -- vectorized binding ---------------------------------------------------
+
+    def bind_batch(
+        self, values: np.ndarray
+    ) -> Tuple[np.ndarray, Optional["TemplateBatchBinding"]]:
+        """Bind many parameter rows at once, without per-row circuit objects.
+
+        ``values`` is a ``(n_rows, >= expected_params())`` matrix; every
+        affine angle of every row comes from *one* matmul against the
+        template's affine plan (where :meth:`bind` runs one matvec per row),
+        the zero-branch guards are checked vectorized across rows, and only
+        replay nodes / non-affine guards fall back to per-row scalar work.
+
+        Returns ``(ok, binding)``: ``ok[i]`` is whether row ``i`` takes the
+        template's compile-time branches, and ``binding`` covers exactly the
+        ``ok`` rows (``None`` when no row binds).  Rows with ``ok[i] False``
+        must be served by a scalar :meth:`bind` of another variant or a full
+        concrete transpile — the same fallback contract as :meth:`bind`.
+
+        The angles a row receives are numerically the one-matvec evaluation
+        of the same affine expressions :meth:`bind` evaluates row-wise; any
+        difference is below the 1e-9 equivalence tolerance the execution
+        engine is pinned to (BLAS may round a matmul and a matvec
+        differently in the last ulp).
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2:
+            raise ValueError("bind_batch expects a 2-D (rows, params) matrix")
+        if values.shape[1] < self._width:
+            raise ValueError(
+                f"expected at least {self._width} parameter values per row "
+                f"(got {values.shape[1]})"
+            )
+        n_rows = values.shape[0]
+        if self._affine_matrix is not None:
+            affine_all = values[:, : self._width] @ self._affine_matrix.T
+            affine_all += self._affine_const
+        else:
+            affine_all = None
+        ok = np.ones(n_rows, dtype=bool)
+        if self._guard_rows.size:
+            wrapped = np.abs(
+                np.mod(affine_all[:, self._guard_rows] + math.pi, 2.0 * math.pi)
+                - math.pi
+            )
+            ok &= ((wrapped < 1e-9) == self._guard_expected).all(axis=1)
+
+        # Replay nodes and non-affine guards are inherently scalar; they are
+        # rare (a few 1q-run re-syntheses per circuit) and the expensive
+        # parts — the matvec and the instruction materialization — stay
+        # vectorized regardless.
+        contexts: Dict[int, _BindContext] = {}
+
+        def context_for(row: int) -> _BindContext:
+            ctx = contexts.get(row)
+            if ctx is None:
+                ctx = _BindContext(
+                    values[row],
+                    affine_all[row] if affine_all is not None else None,
+                )
+                contexts[row] = ctx
+            return ctx
+
+        if self._nodes or self._aux_nodes or self._other_guards:
+            for row in np.flatnonzero(ok):
+                ctx = context_for(int(row))
+                try:
+                    for node in self._nodes:
+                        node.replay(ctx)
+                    for node in self._aux_nodes:
+                        node.replay(ctx)
+                    for guard in self._other_guards:
+                        guard.check(ctx)
+                except ParametricBindMismatch:
+                    ok[row] = False
+
+        kept = np.flatnonzero(ok)
+        if kept.size == 0:
+            return ok, None
+
+        slots: List = []
+        for reduced_slot in self._reduced_slots:
+            if type(reduced_slot) is Instruction:
+                slots.append(reduced_slot)
+                continue
+            gate, qubits, plan = reduced_slot
+            params = np.empty((kept.size, len(plan)))
+            for column, item in enumerate(plan):
+                if type(item) is int:
+                    params[:, column] = affine_all[kept, item]
+                else:
+                    for position, row in enumerate(kept):
+                        params[position, column] = item.evaluate(
+                            context_for(int(row))
+                        )
+            slots.append((gate, qubits, params))
+        return ok, TemplateBatchBinding(self, kept, slots)
+
+
+class TemplateBatchBinding:
+    """One template vectorized over many parameter rows.
+
+    Produced by :meth:`ParametricCompiledCircuit.bind_batch`.  Instead of one
+    :class:`CompiledCircuit` (and its per-sample ``Instruction`` stream) per
+    row, the binding holds the shared reduced-register instruction skeleton
+    once, with each parametric slot's angles as a dense ``(n_rows, k)`` array
+    — the form the batched density-matrix backend consumes directly, so the
+    ``noise_sim`` hot loop never constructs per-sample instructions at all.
+
+    ``slots`` aligns with the template's reduced instruction stream: a slot is
+    either a shared :class:`Instruction` (constant across rows) or a
+    ``(gate, reduced_qubits, angles)`` triple.  ``rows`` maps batch positions
+    back to row indices of the matrix handed to ``bind_batch``.
+    """
+
+    __slots__ = ("template", "rows", "slots")
+
+    def __init__(
+        self,
+        template: ParametricCompiledCircuit,
+        rows: np.ndarray,
+        slots: List,
+    ) -> None:
+        self.template = template
+        self.rows = rows
+        self.slots = slots
+
+    @property
+    def n_rows(self) -> int:
+        return int(len(self.rows))
+
+    @property
+    def n_reduced(self) -> int:
+        return max(len(self.template.used_qubits), 1)
+
+    @property
+    def used_qubits(self) -> Tuple[int, ...]:
+        return self.template.used_qubits
+
+    @property
+    def final_layout(self) -> Dict[int, int]:
+        return self.template.final_layout
 
 
 # ---------------------------------------------------------------------------

@@ -7,13 +7,25 @@ evolutionary engine, shot noise, calibration drift) accepts either a seed or a
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import hashlib
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
-__all__ = ["ensure_rng", "seeded_rng", "derive_rng"]
+__all__ = ["ensure_rng", "seeded_rng", "derive_rng", "stable_seed"]
 
 RngLike = Union[int, np.random.Generator, None]
+
+
+def stable_seed(key: Tuple) -> int:
+    """A deterministic 32-bit seed derived from a hashable key.
+
+    ``hash()`` is salted per process for strings, so the seed is derived from
+    ``repr`` instead — seeds (cache entries, shard rng streams, pinned shot
+    draws) are then reproducible across processes and insertion orders.
+    """
+    digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "big")
 
 
 def ensure_rng(rng: RngLike = None) -> np.random.Generator:

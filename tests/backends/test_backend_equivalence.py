@@ -1,0 +1,192 @@
+"""Backend dispatch is a pure reorganization of the same numbers.
+
+Population scores routed through the dispatched backends must match the
+per-candidate sequential seed path to 1e-9 across qubit counts (2q/4q/6q),
+tasks (QML and VQE) and estimator modes (``noise_sim``/``success_rate``),
+and forcing a capable backend must either reproduce the default exactly
+(density, statevector) or be deterministically pinned (shots — covered in
+``test_shot_sampler``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig, EvolutionEngine, SuperCircuit, get_design_space
+from repro.core.estimator import EstimatorConfig, PerformanceEstimator
+from repro.devices import get_device
+from repro.execution import ExecutionEngine
+from repro.qml.encoders import EncoderSpec
+from repro.qml import make_classification_dataset
+from repro.vqe.molecules import load_molecule
+
+ATOL = 1e-9
+
+
+def make_population(space, n_qubits, device, seed, size):
+    evolution = EvolutionEngine(space, n_qubits, device, EvolutionConfig(seed=seed))
+    return [evolution.random_candidate() for _ in range(size)]
+
+
+def qml_task(n_qubits: int):
+    """A small n-qubit QML task: per-qubit ry/rz encoder + matching dataset."""
+    encoder = EncoderSpec(
+        f"test_{n_qubits}q", n_qubits, (("ry", n_qubits), ("rz", n_qubits))
+    )
+    dataset = make_classification_dataset(
+        f"tiny-{n_qubits}q", n_classes=2, n_features=encoder.n_features,
+        n_train=12, n_valid=6, n_test=6, seed=5,
+    )
+    return encoder, dataset
+
+
+def qml_scores(device, supercircuit, dataset, candidates, mode, engine="batched",
+               backend=None, n_valid=3):
+    estimator = PerformanceEstimator(
+        device,
+        EstimatorConfig(
+            mode=mode, n_valid_samples=n_valid, engine=engine, backend=backend
+        ),
+    )
+    with ExecutionEngine(estimator, supercircuit) as engine_obj:
+        scores = engine_obj.evaluate_qml_population(candidates, dataset, 2)
+        return scores, engine_obj
+
+
+@pytest.mark.parametrize("n_qubits,device_name", [(2, "yorktown"), (6, "jakarta")])
+@pytest.mark.parametrize("mode", ["noise_sim", "success_rate"])
+def test_qml_dispatch_matches_sequential_across_widths(n_qubits, device_name,
+                                                       mode):
+    device = get_device(device_name)
+    space = get_design_space("u3cu3")
+    encoder, dataset = qml_task(n_qubits)
+    supercircuit = SuperCircuit(space, n_qubits, encoder=encoder, seed=3)
+    candidates = make_population(space, n_qubits, device, seed=11, size=3)
+
+    sequential, _ = qml_scores(
+        device, supercircuit, dataset, candidates, mode, engine="sequential"
+    )
+    batched, engine = qml_scores(
+        device, supercircuit, dataset, candidates, mode
+    )
+    np.testing.assert_allclose(batched, sequential, rtol=0, atol=ATOL)
+    if mode == "noise_sim":
+        assert engine.stats.density_circuits == 3 * 3
+    else:
+        assert engine.stats.statevector_batches >= len(
+            {tuple(c.config.as_gene()) for c in candidates}
+        )
+
+
+@pytest.mark.parametrize("mode,backend", [
+    ("noise_sim", "density"),
+    ("success_rate", "statevector"),
+    ("noise_free", "statevector"),
+])
+def test_forced_capable_backend_reproduces_default_scores(
+    u3cu3_supercircuit, yorktown, tiny_dataset, mode, backend
+):
+    space = get_design_space("u3cu3")
+    candidates = make_population(space, 4, yorktown, seed=7, size=4)
+
+    def scores(backend_name):
+        estimator = PerformanceEstimator(
+            yorktown,
+            EstimatorConfig(mode=mode, n_valid_samples=4, backend=backend_name),
+        )
+        with ExecutionEngine(estimator, u3cu3_supercircuit) as engine:
+            return engine.evaluate_qml_population(candidates, tiny_dataset, 4)
+
+    assert scores(backend) == scores(None)
+
+
+def test_forcing_statevector_on_noise_sim_keeps_density_scores(
+    u3cu3_supercircuit, yorktown, tiny_dataset
+):
+    """The REPRO_BACKEND=statevector CI lane contract: an incapable override
+    never changes a noisy score — it is ignored for that group."""
+    space = get_design_space("u3cu3")
+    candidates = make_population(space, 4, yorktown, seed=3, size=3)
+
+    def run(backend_name):
+        estimator = PerformanceEstimator(
+            yorktown,
+            EstimatorConfig(
+                mode="noise_sim", n_valid_samples=2, backend=backend_name
+            ),
+        )
+        with ExecutionEngine(estimator, u3cu3_supercircuit) as engine:
+            scores = engine.evaluate_qml_population(candidates, tiny_dataset, 4)
+        return scores, engine
+
+    forced_scores, forced_engine = run("statevector")
+    default_scores, _ = run(None)
+    np.testing.assert_allclose(forced_scores, default_scores, rtol=0, atol=ATOL)
+    assert forced_engine.dispatcher.overrides_ignored > 0
+    assert forced_engine.stats.density_circuits == 3 * 2
+
+
+@pytest.mark.parametrize("molecule_name,device_name", [
+    ("h2", "yorktown"),     # 2 qubits
+    ("lih", "jakarta"),     # 6 qubits
+])
+@pytest.mark.parametrize("mode", ["noise_sim", "success_rate"])
+def test_vqe_dispatch_matches_sequential_across_widths(molecule_name,
+                                                       device_name, mode):
+    molecule = load_molecule(molecule_name)
+    device = get_device(device_name)
+    space = get_design_space("u3cu3")
+    supercircuit = SuperCircuit(space, molecule.n_qubits, encoder=None, seed=3)
+    candidates = make_population(space, molecule.n_qubits, device, seed=7, size=3)
+
+    def scores(engine_mode, backend=None):
+        estimator = PerformanceEstimator(
+            device,
+            EstimatorConfig(mode=mode, engine=engine_mode, backend=backend),
+        )
+        with ExecutionEngine(estimator, supercircuit) as engine:
+            return engine.evaluate_vqe_population(candidates, molecule)
+
+    sequential = scores("sequential")
+    np.testing.assert_allclose(scores("batched"), sequential, rtol=0, atol=ATOL)
+    # forcing the default engine family must be a no-op; forcing the shot
+    # backend is vetoed by the observable requirement and is one too
+    for forced in ("density", "statevector", "shots"):
+        np.testing.assert_allclose(
+            scores("batched", backend=forced), sequential, rtol=0, atol=ATOL
+        )
+
+
+@pytest.mark.parametrize("mode,n_valid,population", [
+    ("success_rate", 4, 8),
+    ("noise_sim", 2, 6),
+])
+def test_evolution_rankings_match_under_dispatch(u3cu3_supercircuit, yorktown,
+                                                 tiny_dataset, mode, n_valid,
+                                                 population):
+    """Seeded searches driven by the dispatched engines visit identical
+    populations and produce identical rankings to the sequential path."""
+    space = get_design_space("u3cu3")
+    evolution_config = EvolutionConfig(
+        iterations=2, population_size=population, parent_size=3,
+        mutation_size=max(2, population - 5), crossover_size=2, seed=9,
+    )
+    results = {}
+    for engine_mode in ("sequential", "batched"):
+        estimator = PerformanceEstimator(
+            yorktown,
+            EstimatorConfig(mode=mode, n_valid_samples=n_valid,
+                            engine=engine_mode, backend=None),
+        )
+        with ExecutionEngine(estimator, u3cu3_supercircuit) as execution:
+            evolution = EvolutionEngine(space, 4, yorktown, evolution_config)
+            results[engine_mode] = evolution.search(
+                population_score_fn=execution.qml_population_scorer(
+                    tiny_dataset, 4
+                )
+            )
+    sequential, batched = results["sequential"], results["batched"]
+    assert batched.best.gene() == sequential.best.gene()
+    assert batched.evaluated == sequential.evaluated
+    assert batched.best_score == pytest.approx(sequential.best_score, abs=ATOL)
