@@ -1,0 +1,76 @@
+"""Static-analysis suite enforcing the engine's determinism contracts.
+
+PRs 2–5 made the co-search hot path batched, parametrically compiled,
+process-sharded and backend-dispatched — an engine whose value proposition
+is a *contract*: scores bit-for-bit independent of worker count and backend
+choice, shard payloads that pickle cleanly, caches that merge without
+shared-state mutation.  The equivalence tests enforce that contract
+dynamically; this package enforces it statically (and, for the one property
+statics cannot see, with a runtime sanitizer):
+
+* :mod:`~repro.analysis.determinism` — global-state RNG, unpinned
+  ``default_rng()``, wall-clock reads feeding computation, unordered set
+  iteration (rules ``det-*``);
+* :mod:`~repro.analysis.pickle_safety` — the ``_ShardTask`` /
+  ``_ShardResult`` payload graphs stay statically picklable
+  (rules ``pickle-*``);
+* :mod:`~repro.analysis.conformance` — every ``register_backend``
+  registrant honors the ``SimulationBackend`` protocol
+  (rules ``backend-*``);
+* :mod:`~repro.analysis.sanitizer` — ``REPRO_SANITIZE=1`` fingerprints
+  cache entries at export/adopt time and raises on post-merge mutation.
+
+Run ``python -m repro.analysis --strict`` (the CI lint lane), or see
+``README.md`` in this directory for the rule catalogue, the
+``# repro: ignore[rule]`` suppression syntax and how to add a checker.
+"""
+
+from .findings import Finding, Rule, Severity
+from .registry import (
+    Checker,
+    all_rules,
+    available_checkers,
+    checker_class,
+    register_checker,
+    unregister_checker,
+)
+from .runner import AnalysisReport, analyze, analyze_paths
+from .project import ModuleInfo, Project, load_project
+from .sanitizer import (
+    CacheMutationError,
+    install_sanitizer,
+    sanitize_requested,
+    sanitizer_installed,
+    uninstall_sanitizer,
+    verify_cache,
+)
+
+# Importing the concrete modules registers the in-tree checkers (the same
+# idiom as repro.backends).
+from . import conformance  # noqa: F401  (registers backend-conformance)
+from . import determinism  # noqa: F401  (registers determinism)
+from . import pickle_safety  # noqa: F401  (registers pickle-safety)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "Severity",
+    "Checker",
+    "all_rules",
+    "available_checkers",
+    "checker_class",
+    "register_checker",
+    "unregister_checker",
+    "AnalysisReport",
+    "analyze",
+    "analyze_paths",
+    "ModuleInfo",
+    "Project",
+    "load_project",
+    "CacheMutationError",
+    "install_sanitizer",
+    "sanitize_requested",
+    "sanitizer_installed",
+    "uninstall_sanitizer",
+    "verify_cache",
+]

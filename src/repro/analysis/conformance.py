@@ -1,0 +1,233 @@
+"""Backend-protocol conformance: ``register_backend`` registrants, at lint time.
+
+The registry (:mod:`repro.backends.registry`) accepts any class with a name;
+whether it actually honors the :class:`~repro.backends.base.SimulationBackend`
+protocol only surfaces when the dispatcher instantiates it inside a
+population evaluation — or worse, inside a sharded worker, where the failure
+degrades into a ``RuntimeWarning`` and a silent slowdown.  Third-party
+adapters (the GPU/Aer sketch in ``src/repro/backends/README.md``) should
+fail here instead.
+
+For every class registered with ``@register_backend`` (decorator form) or
+``register_backend(Cls)`` (call form), the checker verifies:
+
+``backend-missing-name``
+    a non-empty string ``name`` class attribute (the registry key);
+``backend-missing-capabilities``
+    a ``capabilities = BackendCapabilities(...)`` class attribute declaring
+    at least one capability flag — the dispatcher's policy inputs;
+``backend-missing-run-group``
+    a ``run_group`` method;
+``backend-bad-signature``
+    ``run_group(self, entry, jobs)`` — exactly two required parameters after
+    ``self`` (extras must carry defaults); ``synchronize(self)`` and
+    ``stats_delta(self)``, when overridden, take no required parameters.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from .findings import Finding, Rule, Severity
+from .project import ModuleInfo, Project, dotted_name
+from .registry import Checker, register_checker
+
+__all__ = ["BackendConformanceChecker"]
+
+MISSING_NAME = Rule(
+    "backend-missing-name",
+    Severity.ERROR,
+    "registered backend lacks a non-empty string `name` class attribute",
+)
+MISSING_CAPABILITIES = Rule(
+    "backend-missing-capabilities",
+    Severity.ERROR,
+    "registered backend declares no BackendCapabilities flags",
+)
+MISSING_RUN_GROUP = Rule(
+    "backend-missing-run-group",
+    Severity.ERROR,
+    "registered backend implements no run_group method",
+)
+BAD_SIGNATURE = Rule(
+    "backend-bad-signature",
+    Severity.ERROR,
+    "backend protocol method has an incompatible signature",
+)
+
+
+def _required_params(node: ast.FunctionDef) -> List[str]:
+    """Parameter names that a caller must supply positionally (incl. self)."""
+    args = node.args
+    n_defaults = len(args.defaults)
+    positional = args.posonlyargs + args.args
+    required = positional[: len(positional) - n_defaults]
+    required_kwonly = [
+        kw for kw, default in zip(args.kwonlyargs, args.kw_defaults)
+        if default is None
+    ]
+    return [a.arg for a in required] + [a.arg for a in required_kwonly]
+
+
+def _find_method(node: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == name:
+            return item
+    return None
+
+
+def _class_assignment(node: ast.ClassDef, name: str) -> Optional[ast.expr]:
+    for item in node.body:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return item.value
+        elif isinstance(item, ast.AnnAssign):
+            if (
+                isinstance(item.target, ast.Name)
+                and item.target.id == name
+                and item.value is not None
+            ):
+                return item.value
+    return None
+
+
+@register_checker
+class BackendConformanceChecker(Checker):
+    """Signature/declaration checks for simulation-backend registrants."""
+
+    name = "backend-conformance"
+    rules = (MISSING_NAME, MISSING_CAPABILITIES, MISSING_RUN_GROUP, BAD_SIGNATURE)
+
+    def check_module(self, module: ModuleInfo, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in self._registered_classes(module):
+            findings.extend(self._check_backend(module, node))
+        return findings
+
+    # -- registrant discovery -------------------------------------------------
+
+    def _registered_classes(self, module: ModuleInfo) -> List[ast.ClassDef]:
+        registered: List[ast.ClassDef] = []
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and any(
+                self._is_register_call(decorator, module)
+                for decorator in node.decorator_list
+            ):
+                registered.append(node)
+        # call form: register_backend(Cls) at module level
+        for node in module.tree.body:
+            value = None
+            if isinstance(node, ast.Expr):
+                value = node.value
+            elif isinstance(node, ast.Assign):
+                value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and self._is_register_call(value.func, module)
+                and value.args
+                and isinstance(value.args[0], ast.Name)
+            ):
+                target = module.classes.get(value.args[0].id)
+                if target is not None and target not in registered:
+                    registered.append(target)
+        return registered
+
+    @staticmethod
+    def _is_register_call(node: ast.expr, module: ModuleInfo) -> bool:
+        path = dotted_name(node)
+        if path is None:
+            return False
+        resolved = module.resolve(path)
+        return resolved.split(".")[-1] == "register_backend"
+
+    # -- per-backend checks ---------------------------------------------------
+
+    def _check_backend(
+        self, module: ModuleInfo, node: ast.ClassDef
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        path = module.display_path
+
+        name_value = _class_assignment(node, "name")
+        if not (
+            isinstance(name_value, ast.Constant)
+            and isinstance(name_value.value, str)
+            and name_value.value
+        ):
+            findings.append(
+                MISSING_NAME.finding(
+                    path,
+                    node.lineno,
+                    f"backend class {node.name!r} needs `name = \"...\"` — "
+                    "the registry key EstimatorConfig(backend=...) selects",
+                    hint="assign a non-empty string literal at class level",
+                    col=node.col_offset,
+                )
+            )
+
+        caps_value = _class_assignment(node, "capabilities")
+        caps_ok = False
+        if isinstance(caps_value, ast.Call):
+            head = dotted_name(caps_value.func)
+            if head is not None and head.split(".")[-1] == "BackendCapabilities":
+                caps_ok = bool(caps_value.keywords) or bool(caps_value.args)
+        if not caps_ok:
+            findings.append(
+                MISSING_CAPABILITIES.finding(
+                    path,
+                    caps_value.lineno if caps_value is not None else node.lineno,
+                    f"backend class {node.name!r} must declare `capabilities "
+                    "= BackendCapabilities(...)` with at least one flag — "
+                    "the dispatcher's only decision inputs",
+                    hint="declare noisy/noise_free/shot_based/observables/"
+                    "batched/max_qubits explicitly",
+                    col=node.col_offset,
+                )
+            )
+
+        run_group = _find_method(node, "run_group")
+        if run_group is None:
+            findings.append(
+                MISSING_RUN_GROUP.finding(
+                    path,
+                    node.lineno,
+                    f"backend class {node.name!r} implements no "
+                    "run_group(self, entry, jobs)",
+                    hint="schedule one structure group's jobs and return one "
+                    "JobResult handle per binding",
+                    col=node.col_offset,
+                )
+            )
+        else:
+            required = _required_params(run_group)
+            if len(required) != 3:
+                findings.append(
+                    BAD_SIGNATURE.finding(
+                        path,
+                        run_group.lineno,
+                        f"{node.name}.run_group must take exactly (self, "
+                        f"entry, jobs); required parameters are "
+                        f"{tuple(required)}",
+                        hint="extra parameters need defaults — the engine "
+                        "calls run_group(entry, jobs) positionally",
+                        col=run_group.col_offset,
+                    )
+                )
+
+        for method_name in ("synchronize", "stats_delta"):
+            method = _find_method(node, method_name)
+            if method is not None and len(_required_params(method)) != 1:
+                findings.append(
+                    BAD_SIGNATURE.finding(
+                        path,
+                        method.lineno,
+                        f"{node.name}.{method_name} must take only (self); "
+                        f"required parameters are "
+                        f"{tuple(_required_params(method))}",
+                        hint="the engine calls it with no arguments",
+                        col=method.col_offset,
+                    )
+                )
+        return findings

@@ -1,0 +1,94 @@
+"""Structured findings emitted by the static-analysis checkers.
+
+A :class:`Finding` is one rule violation at one source location.  Checkers
+never print — they return findings; rendering (text or JSON) and exit-code
+policy live in :mod:`repro.analysis.runner` so the same findings drive the
+CLI, the CI gate and the test assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["Severity", "Rule", "Finding"]
+
+
+class Severity:
+    """Finding severities (plain strings so findings serialize trivially).
+
+    ``ERROR`` findings always gate the CLI; ``WARNING`` findings gate only
+    under ``--strict`` (the CI configuration).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    ORDER = {ERROR: 0, WARNING: 1}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One rule a checker can fire: identity, severity and catalogue text."""
+
+    id: str
+    severity: str
+    summary: str
+
+    def finding(
+        self,
+        path: str,
+        line: int,
+        message: str,
+        hint: str = "",
+        col: int = 0,
+    ) -> "Finding":
+        """Build a finding of this rule (checkers' one-liner constructor)."""
+        return Finding(
+            path=path,
+            line=int(line),
+            col=int(col),
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+            hint=hint,
+        )
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+    hint: str = ""
+    #: set by the runner when a ``# repro: ignore[rule]`` comment covers it
+    suppressed: bool = field(default=False, compare=False)
+
+    def sort_key(self) -> Tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        text = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "hint": self.hint,
+            "suppressed": self.suppressed,
+        }

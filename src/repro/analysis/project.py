@@ -1,0 +1,200 @@
+"""The project model the checkers analyze.
+
+A :class:`Project` is a set of parsed modules (``.py`` files under the
+analyzed roots).  Each :class:`ModuleInfo` carries the AST (with parent
+links), the dotted module name (derived from the package layout, so
+cross-module references like ``from ..devices.library import Device``
+resolve), the per-line suppression table parsed from ``# repro:`` comments,
+and an import map from local names to the dotted path they refer to.
+
+Nothing here is imported or executed — analysis is purely syntactic, so the
+suite can lint fixture modules containing deliberate violations (or modules
+whose dependencies are absent) without side effects.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .suppressions import SuppressionTable, parse_suppressions
+
+__all__ = ["ModuleInfo", "Project", "load_project", "dotted_name"]
+
+
+def _module_name_for(path: Path) -> str:
+    """Dotted module name derived from the enclosing package directories."""
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _attach_parents(tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._repro_parent = node  # type: ignore[attr-defined]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus everything checkers ask about it."""
+
+    path: Path
+    name: str
+    source: str
+    tree: ast.Module
+    suppressions: SuppressionTable
+    #: line numbers carrying a standalone ``# repro: pickle-boundary`` marker
+    boundary_markers: Set[int] = field(default_factory=set)
+    _imports: Optional[Dict[str, str]] = field(default=None, repr=False)
+    _classes: Optional[Dict[str, ast.ClassDef]] = field(default=None, repr=False)
+
+    @property
+    def display_path(self) -> str:
+        return str(self.path)
+
+    # -- import resolution ---------------------------------------------------
+
+    @property
+    def imports(self) -> Dict[str, str]:
+        """Local name -> dotted path it was imported as.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from ..devices.library
+        import Device`` maps ``Device -> repro.devices.library.Device``
+        (relative imports resolved against this module's own dotted name).
+        """
+        if self._imports is None:
+            table: Dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        table[alias.asname or alias.name.split(".")[0]] = (
+                            alias.name if alias.asname else alias.name.split(".")[0]
+                        )
+                        if alias.asname:
+                            table[alias.asname] = alias.name
+                elif isinstance(node, ast.ImportFrom):
+                    base = self._resolve_from(node)
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        target = f"{base}.{alias.name}" if base else alias.name
+                        table[alias.asname or alias.name] = target
+            self._imports = table
+        return self._imports
+
+    def _resolve_from(self, node: ast.ImportFrom) -> str:
+        if not node.level:
+            return node.module or ""
+        # relative import: climb ``level`` packages from this module's name
+        parts = self.name.split(".")
+        # a module's own segment never counts as a package level
+        parts = parts[: len(parts) - node.level]
+        if node.module:
+            parts.append(node.module)
+        return ".".join(parts)
+
+    def resolve(self, local_dotted: str) -> str:
+        """Expand a local dotted path through the import map.
+
+        ``np.random.rand`` -> ``numpy.random.rand``; names with no import
+        entry resolve to themselves (builtins, module-local definitions).
+        """
+        head, _, rest = local_dotted.partition(".")
+        target = self.imports.get(head, head)
+        return f"{target}.{rest}" if rest else target
+
+    # -- class lookup ---------------------------------------------------------
+
+    @property
+    def classes(self) -> Dict[str, ast.ClassDef]:
+        if self._classes is None:
+            self._classes = {
+                node.name: node
+                for node in self.tree.body
+                if isinstance(node, ast.ClassDef)
+            }
+        return self._classes
+
+
+class Project:
+    """All modules under analysis, indexed by dotted name and by path."""
+
+    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
+        self.modules: List[ModuleInfo] = list(modules)
+        self.by_name: Dict[str, ModuleInfo] = {m.name: m for m in self.modules}
+        self.by_path: Dict[Path, ModuleInfo] = {m.path: m for m in self.modules}
+
+    def find_class(
+        self, module: ModuleInfo, local_name: str
+    ) -> Optional[Tuple[ModuleInfo, ast.ClassDef]]:
+        """Resolve a (possibly imported) class name to its definition.
+
+        Looks in the referencing module first, then follows the import map
+        into other analyzed modules.  Returns ``None`` for classes outside
+        the project (numpy, stdlib) — callers decide how to treat unknowns.
+        """
+        if local_name in module.classes:
+            return module, module.classes[local_name]
+        target = module.resolve(local_name)
+        mod_name, _, cls_name = target.rpartition(".")
+        if not cls_name:
+            return None
+        owner = self.by_name.get(mod_name)
+        if owner is not None and cls_name in owner.classes:
+            return owner, owner.classes[cls_name]
+        return None
+
+
+def load_module(path: Path) -> ModuleInfo:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    _attach_parents(tree)
+    suppressions, markers = parse_suppressions(source)
+    return ModuleInfo(
+        path=path,
+        name=_module_name_for(path),
+        source=source,
+        tree=tree,
+        suppressions=suppressions,
+        boundary_markers=markers,
+    )
+
+
+def load_project(paths: Sequence[Path]) -> Project:
+    """Parse every ``.py`` file under ``paths`` (files or directories)."""
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    seen: Set[Path] = set()
+    modules = []
+    for file in files:
+        resolved = file.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        modules.append(load_module(file))
+    return Project(modules)

@@ -1,0 +1,130 @@
+"""Run checkers over a project; apply suppressions; render findings.
+
+This is the layer shared by the CLI, the CI gate and the test suite:
+checkers return raw findings, the runner filters them through the per-line
+``# repro: ignore[rule]`` tables, sorts them, and reports an
+:class:`AnalysisReport` whose :meth:`~AnalysisReport.exit_code` implements
+the gating policy (errors always gate; warnings gate under ``--strict``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .findings import Finding, Severity
+from .project import Project, load_project
+from .registry import all_rules, available_checkers, checker_class
+from .suppressions import is_suppressed
+
+__all__ = ["AnalysisReport", "analyze", "analyze_paths"]
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    modules_checked: int = 0
+    checkers_run: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == Severity.WARNING]
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    # -- rendering ------------------------------------------------------------
+
+    def render_text(self, show_suppressed: bool = False) -> str:
+        lines = [finding.render() for finding in self.findings]
+        if show_suppressed:
+            lines.extend(
+                f"{finding.render()} [suppressed]" for finding in self.suppressed
+            )
+        lines.append(
+            f"repro.analysis: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), {len(self.suppressed)} "
+            f"suppressed across {self.modules_checked} module(s) "
+            f"[checkers: {', '.join(self.checkers_run)}]"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "findings": [f.to_dict() for f in self.findings],
+                "suppressed": [f.to_dict() for f in self.suppressed],
+                "modules_checked": self.modules_checked,
+                "checkers": self.checkers_run,
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+            },
+            indent=2,
+        )
+
+
+def _validate_selection(rule_ids: Sequence[str]) -> None:
+    known = {rule.id for rule in all_rules()}
+    unknown = sorted(set(rule_ids) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s) {unknown}; known rules: {sorted(known)}"
+        )
+
+
+def analyze(
+    project: Project,
+    checkers: Optional[Sequence[str]] = None,
+    select: Optional[Sequence[str]] = None,
+) -> AnalysisReport:
+    """Run ``checkers`` (default: all registered) over a loaded project.
+
+    ``select`` restricts the report to the given rule ids — suppression
+    still applies first, so a selected-and-suppressed finding stays
+    suppressed.
+    """
+    names = list(checkers) if checkers is not None else available_checkers()
+    if select is not None:
+        _validate_selection(select)
+        selected = set(select)
+    else:
+        selected = None
+    report = AnalysisReport(
+        modules_checked=len(project.modules), checkers_run=names
+    )
+    instances = [checker_class(name)() for name in names]
+    for module in project.modules:
+        for checker in instances:
+            for finding in checker.check_module(module, project):
+                if selected is not None and finding.rule not in selected:
+                    continue
+                if is_suppressed(module.suppressions, finding.line, finding.rule):
+                    finding.suppressed = True
+                    report.suppressed.append(finding)
+                else:
+                    report.findings.append(finding)
+    report.findings.sort(key=Finding.sort_key)
+    report.suppressed.sort(key=Finding.sort_key)
+    return report
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    checkers: Optional[Sequence[str]] = None,
+    select: Optional[Sequence[str]] = None,
+) -> AnalysisReport:
+    """Load ``paths`` and analyze them (the programmatic entry point)."""
+    return analyze(load_project(paths), checkers=checkers, select=select)

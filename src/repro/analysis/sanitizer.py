@@ -1,0 +1,247 @@
+"""Runtime cache-mutation sanitizer (``REPRO_SANITIZE=1``).
+
+The transpile caches promise that entries crossing the sharded scheduler's
+process boundary are immutable shared state: a worker exports what it
+compiled, the parent adopts it, and from then on *nobody* may mutate the
+shared objects — the equivalence suite pins the numbers, but a mutation
+that happens to keep scores stable on today's workloads would still be a
+latent bug for tomorrow's.  This module is the dynamic half of the
+enforcement (the static half is :mod:`repro.analysis`): with
+``REPRO_SANITIZE=1`` in the environment, every
+:class:`~repro.execution.cache.TranspileCache` /
+:class:`~repro.execution.cache.ParametricTranspileCache` fingerprints each
+entry at the moment it becomes shared (``export_entries`` /
+``adopt_entries``) and re-verifies all recorded fingerprints at every
+subsequent share point (and at ``clear``), raising
+:class:`CacheMutationError` on the first divergence.
+
+Fingerprints are ``blake2b(pickle.dumps(entry))``.  Because
+``CompiledCircuit.__getstate__`` / ``Device.__getstate__`` drop their
+derived memos, *benign* lazy memoization (``success_rate()`` populating
+``_success_rate`` after adoption) never trips the sanitizer — only changes
+to the pickled contract state do.  A shared parametric structure may grow
+new template variants locally; the sanitizer therefore fingerprints the
+variants that were shared, not the list that holds them.
+
+The hooks are installed by :func:`install_sanitizer` — called automatically
+from :mod:`repro.execution` when ``REPRO_SANITIZE`` is set — and are
+process-global but idempotent; :func:`uninstall_sanitizer` restores the
+original methods (tests toggle them around assertions).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "CacheMutationError",
+    "sanitize_requested",
+    "entry_fingerprint",
+    "install_sanitizer",
+    "uninstall_sanitizer",
+    "sanitizer_installed",
+    "verify_cache",
+]
+
+
+class CacheMutationError(RuntimeError):
+    """A cache entry shared across the process boundary was mutated."""
+
+
+def sanitize_requested(environ: Optional[Dict[str, str]] = None) -> bool:
+    """Whether the environment asks for the sanitizer (``REPRO_SANITIZE``)."""
+    env = os.environ if environ is None else environ
+    return env.get("REPRO_SANITIZE", "").strip() not in ("", "0", "false", "no")
+
+
+def entry_fingerprint(entry) -> bytes:
+    """Content fingerprint of one cache entry.
+
+    ``__getstate__`` implementations apply, so state a class explicitly
+    excludes from its pickled form (derived memos) is — by design — free to
+    change without tripping verification.
+    """
+    payload = pickle.dumps(entry, protocol=4)
+    return hashlib.blake2b(payload, digest_size=16).digest()
+
+
+# ---------------------------------------------------------------------------
+# Per-cache fingerprint ledgers
+# ---------------------------------------------------------------------------
+
+_LEDGER_ATTR = "_sanitizer_ledger"
+
+
+def _ledger(cache) -> Dict[Tuple, object]:
+    """The cache's ``shared-entry key -> fingerprint`` ledger.
+
+    Keys are ``("bound", key)`` for plain compiled entries and
+    ``("structure", key)`` for parametric structures (whose value is the
+    list of per-variant fingerprints recorded at share time).
+    """
+    ledger = getattr(cache, _LEDGER_ATTR, None)
+    if ledger is None:
+        ledger = {}
+        setattr(cache, _LEDGER_ATTR, ledger)
+    return ledger
+
+
+def _record_bound(cache, key, entry) -> None:
+    _ledger(cache)[("bound", key)] = entry_fingerprint(entry)
+
+
+def _record_structure(cache, key, variants) -> None:
+    _ledger(cache)[("structure", key)] = [
+        entry_fingerprint(variant) for variant in variants
+    ]
+
+
+def verify_cache(cache) -> None:
+    """Re-fingerprint every recorded shared entry still present; raise on
+    the first divergence.  Evicted entries are dropped from the ledger."""
+    ledger = getattr(cache, _LEDGER_ATTR, None)
+    if not ledger:
+        return
+    bound_entries = getattr(cache, "_entries", None)
+    if bound_entries is None:
+        bound_entries = getattr(cache, "_bound", {})
+    structures = getattr(cache, "_structures", {})
+    stale: List[Tuple] = []
+    for ledger_key, recorded in ledger.items():
+        kind, key = ledger_key
+        if kind == "bound":
+            entry = bound_entries.get(key)
+            if entry is None:
+                stale.append(ledger_key)
+                continue
+            if entry_fingerprint(entry) != recorded:
+                raise CacheMutationError(
+                    f"{type(cache).__name__} entry {key!r} was mutated after "
+                    "it was shared across the process boundary "
+                    "(export_entries/adopt_entries); shared compilations "
+                    "must be treated as immutable"
+                )
+        else:
+            state = structures.get(key)
+            if state is None:
+                stale.append(ledger_key)
+                continue
+            variants = list(getattr(state, "variants", ()))
+            # variants appended after sharing are local, not shared: verify
+            # only the prefix that was fingerprinted
+            for index, fingerprint in enumerate(recorded[: len(variants)]):
+                if entry_fingerprint(variants[index]) != fingerprint:
+                    raise CacheMutationError(
+                        f"{type(cache).__name__} structure {key!r} variant "
+                        f"{index} was mutated after it was shared across the "
+                        "process boundary; shared parametric templates must "
+                        "be treated as immutable"
+                    )
+    for ledger_key in stale:
+        del ledger[ledger_key]
+
+
+# ---------------------------------------------------------------------------
+# Method hooks
+# ---------------------------------------------------------------------------
+
+_ORIGINALS: Dict[Tuple[type, str], object] = {}
+
+
+def _wrap_transpile_cache(cls) -> None:
+    original_export = cls.export_entries
+    original_adopt = cls.adopt_entries
+    original_clear = cls.clear
+    _ORIGINALS[(cls, "export_entries")] = original_export
+    _ORIGINALS[(cls, "adopt_entries")] = original_adopt
+    _ORIGINALS[(cls, "clear")] = original_clear
+
+    def export_entries(self, exclude=()):
+        verify_cache(self)
+        entries = original_export(self, exclude)
+        for key, entry in entries:
+            _record_bound(self, key, entry)
+        return entries
+
+    def adopt_entries(self, entries):
+        verify_cache(self)
+        entries = list(entries)
+        present_before = set(self._entries)
+        adopted = original_adopt(self, entries)
+        for key, entry in entries:
+            if key not in present_before and key in self._entries:
+                _record_bound(self, key, entry)
+        return adopted
+
+    def clear(self):
+        verify_cache(self)
+        getattr(self, _LEDGER_ATTR, {}).clear()
+        return original_clear(self)
+
+    cls.export_entries = export_entries
+    cls.adopt_entries = adopt_entries
+    cls.clear = clear
+
+
+def _wrap_parametric_cache(cls) -> None:
+    original_export = cls.export_entries
+    original_adopt = cls.adopt_entries
+    original_clear = cls.clear
+    _ORIGINALS[(cls, "export_entries")] = original_export
+    _ORIGINALS[(cls, "adopt_entries")] = original_adopt
+    _ORIGINALS[(cls, "clear")] = original_clear
+
+    def export_entries(self, exclude_structures=(), exclude_bound=()):
+        verify_cache(self)
+        payload = original_export(self, exclude_structures, exclude_bound)
+        for key, variants in payload.get("structures", ()):
+            _record_structure(self, key, variants)
+        for key, entry in payload.get("bound", ()):
+            _record_bound(self, key, entry)
+        return payload
+
+    def adopt_entries(self, payload):
+        verify_cache(self)
+        structures_before = set(self._structures)
+        bound_before = set(self._bound)
+        adopted = original_adopt(self, payload)
+        for key, variants in payload.get("structures", ()):
+            if key not in structures_before and key in self._structures:
+                _record_structure(self, key, variants)
+        for key, entry in payload.get("bound", ()):
+            if key not in bound_before and key in self._bound:
+                _record_bound(self, key, entry)
+        return adopted
+
+    def clear(self):
+        verify_cache(self)
+        getattr(self, _LEDGER_ATTR, {}).clear()
+        return original_clear(self)
+
+    cls.export_entries = export_entries
+    cls.adopt_entries = adopt_entries
+    cls.clear = clear
+
+
+def sanitizer_installed() -> bool:
+    return bool(_ORIGINALS)
+
+
+def install_sanitizer() -> None:
+    """Install the share-point verification hooks (idempotent)."""
+    if _ORIGINALS:
+        return
+    from ..execution import cache as cache_module
+
+    _wrap_transpile_cache(cache_module.TranspileCache)
+    _wrap_parametric_cache(cache_module.ParametricTranspileCache)
+
+
+def uninstall_sanitizer() -> None:
+    """Restore the original cache methods (idempotent)."""
+    for (cls, method_name), original in _ORIGINALS.items():
+        setattr(cls, method_name, original)
+    _ORIGINALS.clear()

@@ -80,6 +80,17 @@ from .engine import ExecutionEngine, ExecutionStats
 from .scheduler import SchedulerStats, ShardedExecutionEngine
 from .stats import MergeableStats
 
+# REPRO_SANITIZE=1 arms the runtime cache-mutation sanitizer: every cache
+# entry is fingerprinted the moment it is shared across the scheduler's
+# process boundary (export_entries/adopt_entries) and re-verified at every
+# later share point — post-merge mutation of shared compilations raises
+# repro.analysis.CacheMutationError instead of silently eroding the
+# determinism contract.  The CI sanitizer lane runs tier-1 this way.
+from ..analysis.sanitizer import install_sanitizer, sanitize_requested
+
+if sanitize_requested():
+    install_sanitizer()
+
 __all__ = [
     "ParametricCacheStats",
     "ParametricTranspileCache",

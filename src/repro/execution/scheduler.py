@@ -85,6 +85,7 @@ class SchedulerStats(MergeableStats):
 # ---------------------------------------------------------------------------
 
 
+# repro: pickle-boundary
 @dataclass
 class _ValidationView:
     """The validation rows a QML generation scores against.
@@ -98,6 +99,7 @@ class _ValidationView:
     y_valid: np.ndarray
 
 
+# repro: pickle-boundary
 @dataclass
 class _ShardTask:
     """One shard's slice of a generation."""
@@ -111,6 +113,7 @@ class _ShardTask:
     fail: bool = False          # fault-injection test seam
 
 
+# repro: pickle-boundary
 @dataclass
 class _ShardResult:
     """Scores plus the accounting deltas one shard produced."""
@@ -226,6 +229,7 @@ class _WorkerContext:
             ),
             bound_entries=bound_entries,
             parametric_entries=parametric_entries,
+            # repro: ignore[det-monotonic-flow] -- per-shard timing report only
             elapsed_seconds=time.perf_counter() - start,
         )
 

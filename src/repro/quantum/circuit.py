@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..utils.rng import ensure_rng
 from .gates import gate_matrix, gate_num_params, gate_num_qubits, canonical_name
 
 __all__ = [
@@ -365,7 +366,7 @@ class ParameterizedCircuit:
 
     def init_weights(self, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Random initial weights uniform in ``[-pi, pi)`` (paper's convention)."""
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         return rng.uniform(-np.pi, np.pi, size=self.num_weights)
 
     # -- binding -----------------------------------------------------------

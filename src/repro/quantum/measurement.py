@@ -10,6 +10,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..utils.rng import ensure_rng
 from .circuit import QuantumCircuit
 from .operators import PauliString, PauliSum, group_commuting
 
@@ -28,7 +29,7 @@ def sample_counts(
     probabilities: np.ndarray, shots: int, rng: Optional[np.random.Generator] = None
 ) -> np.ndarray:
     """Sample ``shots`` measurement outcomes; returns counts per basis state."""
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     probs = np.clip(np.asarray(probabilities, dtype=float), 0.0, None)
     total = probs.sum()
     if total <= 0:

@@ -31,6 +31,12 @@ def stable_seed(key: Tuple) -> int:
 def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     """Coerce ``rng`` (seed, generator or None) into a Generator."""
     if rng is None:
+        # The one sanctioned unpinned stream: every determinism-contract
+        # path (engine, scheduler, backends, caches) passes an explicit
+        # seed or Generator; ``None`` is the exploratory-use escape hatch,
+        # and funnelling every call site through here keeps this the single
+        # audited occurrence in the tree.
+        # repro: ignore[det-unpinned-rng] -- documented escape hatch
         return np.random.default_rng()
     if isinstance(rng, np.random.Generator):
         return rng

@@ -1,0 +1,37 @@
+"""Shared helpers for the analysis-suite tests.
+
+Fixture modules under ``fixtures/`` tag each deliberate violation with a
+trailing ``# expect: rule-id[, rule-id]`` comment.  ``expected_findings``
+parses those tags into a ``{(line, rule), ...}`` set so the tests stay
+correct under line-number drift when fixtures are edited.
+"""
+
+from pathlib import Path
+from typing import Set, Tuple
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _parse_expect_tags(path: Path) -> Set[Tuple[int, str]]:
+    expected = set()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if "# expect:" not in line:
+            continue
+        _, _, tag = line.partition("# expect:")
+        for rule in tag.split(","):
+            rule = rule.strip()
+            if rule:
+                expected.add((lineno, rule))
+    return expected
+
+
+@pytest.fixture(scope="session")
+def expected_findings():
+    return _parse_expect_tags
+
+
+@pytest.fixture(scope="session")
+def fixtures_dir():
+    return FIXTURES

@@ -1,0 +1,89 @@
+"""Fixture module with deliberate backend-protocol violations.
+
+Never imported — only parsed by the analysis suite.  Mirrors the real
+``repro.backends`` registration idiom (``@register_backend`` decorator and
+the ``register_backend(Cls)`` call form); trailing ``expect`` tags name the
+rule each class must fire.
+"""
+
+from repro.backends.base import BackendCapabilities, SimulationBackend
+from repro.backends.registry import register_backend
+
+
+@register_backend
+class _NamelessBackend(SimulationBackend):  # expect: backend-missing-name
+    capabilities = BackendCapabilities(noisy=False)
+
+    def run_group(self, entry, jobs):
+        return []
+
+
+@register_backend
+class _EmptyNameBackend(SimulationBackend):  # expect: backend-missing-name
+    name = ""
+    capabilities = BackendCapabilities(noisy=False)
+
+    def run_group(self, entry, jobs):
+        return []
+
+
+@register_backend
+class _NoCapsBackend(SimulationBackend):  # expect: backend-missing-capabilities
+    name = "no-caps"
+
+    def run_group(self, entry, jobs):
+        return []
+
+
+@register_backend
+class _NoRunGroupBackend(SimulationBackend):  # expect: backend-missing-run-group
+    name = "no-run-group"
+    capabilities = BackendCapabilities(noisy=False)
+
+
+@register_backend
+class _BadSignatureBackend(SimulationBackend):
+    name = "bad-signature"
+    capabilities = BackendCapabilities(noisy=False)
+
+    def run_group(self, entry):  # expect: backend-bad-signature
+        return []
+
+    def synchronize(self, hard):  # expect: backend-bad-signature
+        pass
+
+
+class _CallRegisteredBackend(SimulationBackend):  # expect: backend-missing-capabilities
+    """Registered via the call form rather than the decorator."""
+
+    name = "call-registered"
+
+    def run_group(self, entry, jobs):
+        return []
+
+
+register_backend(_CallRegisteredBackend)
+
+
+@register_backend
+class _ConformingBackend(SimulationBackend):
+    """Fully conforming: no findings."""
+
+    name = "conforming"
+    capabilities = BackendCapabilities(noisy=True, batched=True)
+
+    def run_group(self, entry, jobs):
+        return []
+
+    def synchronize(self):
+        pass
+
+    def stats_delta(self):
+        return {}
+
+
+class _UnregisteredHelper:
+    """Not registered — never checked, even with a bogus run_group."""
+
+    def run_group(self):
+        return []

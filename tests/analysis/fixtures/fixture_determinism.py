@@ -1,0 +1,66 @@
+"""Fixture module with deliberate determinism violations.
+
+Never imported — only parsed by the analysis suite.  Lines carrying a
+violation end in a trailing ``expect`` tag naming the rule; the tests parse
+the tags and assert the checker fires exactly those rules on exactly those
+lines (and nothing else).
+"""
+
+import os
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def global_draws(n):
+    a = np.random.rand(n)  # expect: det-global-rng
+    b = random.random()  # expect: det-global-rng
+    np.random.seed(0)  # expect: det-global-rng
+    random.shuffle([1, 2, 3])  # expect: det-global-rng
+    c = os.urandom(8)  # expect: det-global-rng
+    return a, b, c
+
+
+def unpinned_streams():
+    fresh = np.random.default_rng()  # expect: det-unpinned-rng
+    bare = default_rng()  # expect: det-unpinned-rng
+    legacy = random.Random()  # expect: det-unpinned-rng
+    pinned = np.random.default_rng(1234)
+    also_pinned = default_rng(seed=7)
+    seeded_legacy = random.Random(99)
+    return fresh, bare, legacy, pinned, also_pinned, seeded_legacy
+
+
+def wall_clock_reads():
+    stamp = time.time()  # expect: det-wall-clock
+    now = datetime.now()  # expect: det-wall-clock
+    return stamp, now
+
+
+def monotonic_flows():
+    start = time.perf_counter()
+    if time.monotonic() > 10.0:  # expect: det-monotonic-flow
+        return 0.0
+    return time.perf_counter() - start  # expect: det-monotonic-flow
+
+
+def unordered_consumption(values):
+    for item in set(values):  # expect: det-unordered-iter
+        _use(item)
+    captured = list({1, 2, 3})  # expect: det-unordered-iter
+    comprehended = [x for x in frozenset(values)]  # expect: det-unordered-iter
+    ordered = sorted(set(values))
+    keyed = {k: None for k in sorted(values)}
+    return captured, comprehended, ordered, keyed
+
+
+def justified_wall_clock():
+    stamp = time.time()  # repro: ignore[det-wall-clock] -- suppression fixture
+    return stamp
+
+
+def _use(value):
+    return value

@@ -1,0 +1,72 @@
+"""Fixture module with deliberate pickle-safety violations.
+
+Never imported — only parsed by the analysis suite.  Root payloads are
+marked with ``# repro: pickle-boundary`` exactly like the real
+``_ShardTask`` / ``_ShardResult``; trailing ``expect`` tags name the rule
+each line must fire.
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+# repro: pickle-boundary
+@dataclass
+class _BadTask:
+    index: int
+    parameters: np.ndarray
+    lock: threading.Lock  # expect: pickle-unsafe-field
+    callback: Callable[[int], float]  # expect: pickle-unsafe-field
+    pool: Optional[ProcessPoolExecutor]  # expect: pickle-unsafe-field
+    nested: "_NestedPayload"
+    helper: "_MemoHelper"
+    lean: "_LeanHelper"
+    justified: Callable  # repro: ignore[pickle-unsafe-field] -- suppression fixture
+
+
+@dataclass
+class _NestedPayload:
+    """Reached through _BadTask.nested — its own fields are walked too."""
+
+    rows: List[Tuple[int, float]]
+    table: Dict[str, int]
+    event: threading.Event  # expect: pickle-unsafe-field
+
+
+class _MemoHelper:
+    """Reachable plain class without __getstate__: __init__ is scanned."""
+
+    def __init__(self, size):
+        self.size = int(size)
+        self._lock = threading.Lock()  # expect: pickle-unsafe-attr
+        self._fn = lambda x: x + 1  # expect: pickle-unsafe-attr
+        self._fh = open("/dev/null")  # expect: pickle-unsafe-attr
+        self._memo = {}
+
+
+class _LeanHelper:
+    """Defines __getstate__ — trusted to control its pickled form."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        return state
+
+
+# repro: pickle-boundary
+@dataclass
+class _CleanResult:
+    """A fully conforming payload: no findings."""
+
+    shard_index: int
+    scores: List[Tuple[int, float]]
+    payload: dict
+    parameters: np.ndarray
+    note: Optional[str] = None

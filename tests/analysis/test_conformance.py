@@ -1,0 +1,50 @@
+"""The backend-conformance checker validates register_backend registrants."""
+
+from pathlib import Path
+
+import pytest
+import repro
+from repro.analysis import Severity, analyze_paths
+
+
+@pytest.fixture(scope="module")
+def report(fixtures_dir):
+    return analyze_paths(
+        [fixtures_dir / "fixture_conformance.py"], checkers=["backend-conformance"]
+    )
+
+
+def test_findings_match_expect_tags(report, expected_findings, fixtures_dir):
+    expected = expected_findings(fixtures_dir / "fixture_conformance.py")
+    actual = {(f.line, f.rule) for f in report.findings}
+    assert actual == expected
+
+
+def test_all_conformance_rules_fire(report):
+    fired = {f.rule for f in report.findings}
+    assert fired == {
+        "backend-missing-name",
+        "backend-missing-capabilities",
+        "backend-missing-run-group",
+        "backend-bad-signature",
+    }
+    assert all(f.severity == Severity.ERROR for f in report.findings)
+
+
+def test_call_form_registration_is_checked(report, fixtures_dir):
+    """register_backend(Cls) call form reaches the same checks as the
+    decorator form."""
+    source = (fixtures_dir / "fixture_conformance.py").read_text().splitlines()
+    call_registered = next(
+        lineno
+        for lineno, line in enumerate(source, start=1)
+        if "class _CallRegisteredBackend" in line
+    )
+    assert any(f.line == call_registered for f in report.findings)
+
+
+def test_real_backends_are_conformant():
+    backends = Path(repro.__file__).parent / "backends"
+    report = analyze_paths([backends], checkers=["backend-conformance"])
+    assert report.findings == []
+    assert report.suppressed == []

@@ -1,0 +1,58 @@
+"""The determinism checker fires exactly the rules its fixture tags."""
+
+import pytest
+
+from repro.analysis import Severity, analyze_paths
+
+
+@pytest.fixture(scope="module")
+def report(fixtures_dir):
+    return analyze_paths(
+        [fixtures_dir / "fixture_determinism.py"], checkers=["determinism"]
+    )
+
+
+def test_findings_match_expect_tags(report, expected_findings, fixtures_dir):
+    expected = expected_findings(fixtures_dir / "fixture_determinism.py")
+    actual = {(f.line, f.rule) for f in report.findings}
+    assert actual == expected
+
+
+def test_each_rule_fires_at_least_once(report):
+    fired = {f.rule for f in report.findings}
+    assert fired == {
+        "det-global-rng",
+        "det-unpinned-rng",
+        "det-wall-clock",
+        "det-monotonic-flow",
+        "det-unordered-iter",
+    }
+
+
+def test_severities(report):
+    by_rule = {f.rule: f.severity for f in report.findings}
+    assert by_rule["det-global-rng"] == Severity.ERROR
+    assert by_rule["det-unpinned-rng"] == Severity.ERROR
+    assert by_rule["det-wall-clock"] == Severity.ERROR
+    assert by_rule["det-monotonic-flow"] == Severity.WARNING
+    assert by_rule["det-unordered-iter"] == Severity.WARNING
+
+
+def test_suppressed_wall_clock_lands_in_suppressed(report):
+    suppressed = {(f.line, f.rule) for f in report.suppressed}
+    assert len(suppressed) == 1
+    ((_, rule),) = suppressed
+    assert rule == "det-wall-clock"
+
+
+def test_findings_carry_fix_hints(report):
+    assert all(f.hint for f in report.findings)
+
+
+def test_pinned_streams_do_not_fire(report, fixtures_dir):
+    source = (fixtures_dir / "fixture_determinism.py").read_text().splitlines()
+    flagged_lines = {f.line for f in report.findings}
+    for lineno, line in enumerate(source, start=1):
+        code = line.split("#")[0]
+        if "pinned" in code and "unpinned" not in code:
+            assert lineno not in flagged_lines, line

@@ -1,0 +1,70 @@
+"""Lean-pickle regression: derived memos stay out of worker payloads.
+
+The sharded scheduler ships ``Device`` and ``CompiledCircuit`` objects
+between processes, and the sanitizer's fingerprints rely on their
+``__getstate__`` dropping derived memos.  These tests pin that contract:
+memos populated before pickling must be absent after unpickling, and the
+receiver must be able to re-derive them.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig, EvolutionEngine, get_design_space
+from repro.execution import TranspileCache
+
+
+def compiled_entry(u3cu3_supercircuit, yorktown, seed=3):
+    space = get_design_space("u3cu3")
+    evolution = EvolutionEngine(space, 4, yorktown, EvolutionConfig(seed=seed))
+    config = evolution.random_config()
+    circuit, _ = u3cu3_supercircuit.build_standalone_circuit(config)
+    weights = u3cu3_supercircuit.inherited_weights(config)
+    bound = circuit.bind(weights, np.linspace(-1.0, 1.0, 16))
+    cache = TranspileCache(maxsize=4)
+    return cache.get(bound, yorktown, initial_layout=evolution.random_mapping())
+
+
+def test_compiled_circuit_pickle_drops_memos(u3cu3_supercircuit, yorktown):
+    compiled = compiled_entry(u3cu3_supercircuit, yorktown)
+
+    # populate both derived memos
+    rate = compiled.success_rate()
+    compiled.reduced_circuit()
+    assert compiled._success_rate is not None
+    assert compiled._reduced is not None
+
+    clone = pickle.loads(pickle.dumps(compiled))
+    assert clone._success_rate is None
+    assert clone._reduced is None
+
+    # the receiver re-derives identical values
+    assert clone.success_rate() == pytest.approx(rate, abs=0)
+    assert clone._success_rate is not None
+
+
+def test_device_pickle_drops_noise_model(yorktown):
+    model = yorktown.noise_model()
+    assert yorktown._noise_model is model
+
+    clone = pickle.loads(pickle.dumps(yorktown))
+    assert clone._noise_model is None
+
+    rebuilt = clone.noise_model()
+    assert rebuilt is not model
+    assert clone._noise_model is rebuilt
+
+
+def test_memo_population_does_not_change_pickled_form(
+    u3cu3_supercircuit, yorktown
+):
+    """The invariant the sanitizer's fingerprints stand on: pickles taken
+    before and after memo population are byte-identical."""
+    compiled = compiled_entry(u3cu3_supercircuit, yorktown)
+    before = pickle.dumps(compiled, protocol=4)
+    compiled.success_rate()
+    compiled.reduced_circuit()
+    after = pickle.dumps(compiled, protocol=4)
+    assert after == before

@@ -1,0 +1,221 @@
+"""The REPRO_SANITIZE cache-mutation sanitizer catches post-share mutation.
+
+Each test installs the hooks around its assertions and leaves the global
+state exactly as it found it — under the CI sanitizer lane the hooks are
+already installed when the suite imports ``repro.execution``, and must stay
+installed for the rest of the session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer import (
+    CacheMutationError,
+    entry_fingerprint,
+    install_sanitizer,
+    sanitize_requested,
+    sanitizer_installed,
+    uninstall_sanitizer,
+    verify_cache,
+)
+from repro.core import EvolutionConfig, EvolutionEngine, get_design_space
+from repro.core.evolution import Candidate
+from repro.execution import ParametricTranspileCache, TranspileCache
+
+
+@pytest.fixture
+def sanitized():
+    was_installed = sanitizer_installed()
+    install_sanitizer()
+    yield
+    if not was_installed:
+        uninstall_sanitizer()
+
+
+def bound_circuit(u3cu3_supercircuit, evolution, config):
+    circuit, _ = u3cu3_supercircuit.build_standalone_circuit(config)
+    weights = u3cu3_supercircuit.inherited_weights(config)
+    return circuit.bind(weights, np.linspace(-1.0, 1.0, 16))
+
+
+def make_evolution(yorktown, seed=3):
+    space = get_design_space("u3cu3")
+    return EvolutionEngine(space, 4, yorktown, EvolutionConfig(seed=seed))
+
+
+# -- env parsing ---------------------------------------------------------------
+
+
+def test_sanitize_requested_env_parsing():
+    assert not sanitize_requested({})
+    assert not sanitize_requested({"REPRO_SANITIZE": ""})
+    assert not sanitize_requested({"REPRO_SANITIZE": "0"})
+    assert not sanitize_requested({"REPRO_SANITIZE": "false"})
+    assert not sanitize_requested({"REPRO_SANITIZE": "no"})
+    assert sanitize_requested({"REPRO_SANITIZE": "1"})
+    assert sanitize_requested({"REPRO_SANITIZE": "yes"})
+
+
+def test_install_is_idempotent(sanitized):
+    assert sanitizer_installed()
+    install_sanitizer()
+    assert sanitizer_installed()
+
+
+# -- TranspileCache ------------------------------------------------------------
+
+
+def test_export_mutate_export_raises(sanitized, u3cu3_supercircuit, yorktown):
+    evolution = make_evolution(yorktown)
+    bound = bound_circuit(u3cu3_supercircuit, evolution, evolution.random_config())
+    mapping = evolution.random_mapping()
+
+    cache = TranspileCache(maxsize=8)
+    compiled = cache.get(bound, yorktown, initial_layout=mapping)
+    cache.export_entries()  # share point: fingerprints recorded
+
+    compiled.num_swaps += 1  # forbidden: mutation of shared state
+    with pytest.raises(CacheMutationError, match="mutated after"):
+        cache.export_entries()
+
+
+def test_adopted_entry_is_guarded(sanitized, u3cu3_supercircuit, yorktown):
+    evolution = make_evolution(yorktown)
+    bound = bound_circuit(u3cu3_supercircuit, evolution, evolution.random_config())
+    mapping = evolution.random_mapping()
+
+    worker = TranspileCache(maxsize=8)
+    compiled = worker.get(bound, yorktown, initial_layout=mapping)
+    exported = worker.export_entries()
+
+    parent = TranspileCache(maxsize=8)
+    assert parent.adopt_entries(exported) == 1
+    verify_cache(parent)  # clean immediately after adoption
+
+    compiled.circuit.instructions.pop()  # entry is shared by both caches
+    with pytest.raises(CacheMutationError, match="immutable"):
+        parent.clear()
+
+
+def test_benign_memoization_does_not_trip(sanitized, u3cu3_supercircuit, yorktown):
+    evolution = make_evolution(yorktown)
+    bound = bound_circuit(u3cu3_supercircuit, evolution, evolution.random_config())
+    mapping = evolution.random_mapping()
+
+    cache = TranspileCache(maxsize=8)
+    compiled = cache.get(bound, yorktown, initial_layout=mapping)
+    cache.export_entries()
+
+    # __getstate__ drops the derived memos, so populating them after the
+    # share point is legal — exactly what success_rate() lazy evaluation does
+    compiled._success_rate = 0.875
+    cache.export_entries()
+    verify_cache(cache)
+
+
+def test_evicted_entries_leave_the_ledger(sanitized, u3cu3_supercircuit, yorktown):
+    evolution = make_evolution(yorktown)
+    bound = bound_circuit(u3cu3_supercircuit, evolution, evolution.random_config())
+    mapping = evolution.random_mapping()
+
+    cache = TranspileCache(maxsize=8)
+    compiled = cache.get(bound, yorktown, initial_layout=mapping)
+    cache.export_entries()
+    cache._entries.clear()  # simulate eviction of everything
+
+    compiled.num_swaps += 1  # no longer cached: mutation is out of scope
+    verify_cache(cache)
+    assert not getattr(cache, "_sanitizer_ledger")
+
+
+# -- ParametricTranspileCache --------------------------------------------------
+
+
+def test_parametric_variant_mutation_raises(sanitized, u3cu3_supercircuit, yorktown):
+    evolution = make_evolution(yorktown)
+    candidate = Candidate(evolution.random_config(), evolution.random_mapping())
+    circuit, _ = u3cu3_supercircuit.build_standalone_circuit(candidate.config)
+    weights = u3cu3_supercircuit.inherited_weights(candidate.config)
+    features = np.linspace(-1.0, 1.0, 16)
+
+    worker = ParametricTranspileCache()
+    worker.get_bound(circuit, weights, features, yorktown, candidate.mapping)
+    payload = worker.export_entries()
+    assert payload["structures"]
+
+    parent = ParametricTranspileCache()
+    parent.adopt_entries(payload)
+    verify_cache(parent)
+
+    (key, variants) = payload["structures"][0]
+    variants[0].num_swaps += 1  # shared template mutated
+    with pytest.raises(CacheMutationError, match="variant"):
+        parent.export_entries()
+
+
+def test_locally_appended_variants_are_legal(
+    sanitized, u3cu3_supercircuit, yorktown
+):
+    evolution = make_evolution(yorktown)
+    candidate = Candidate(evolution.random_config(), evolution.random_mapping())
+    circuit, _ = u3cu3_supercircuit.build_standalone_circuit(candidate.config)
+    weights = u3cu3_supercircuit.inherited_weights(candidate.config)
+
+    worker = ParametricTranspileCache()
+    worker.get_bound(
+        circuit, weights, np.linspace(-1.0, 1.0, 16), yorktown, candidate.mapping
+    )
+    payload = worker.export_entries()
+
+    parent = ParametricTranspileCache()
+    parent.adopt_entries(payload)
+
+    # binding through the adopted structure may append new local variants
+    # (and memoize bound entries) without tripping verification
+    parent.get_bound(
+        circuit, weights, np.linspace(-0.5, 0.5, 16), yorktown, candidate.mapping
+    )
+    parent.export_entries()
+    verify_cache(parent)
+
+
+# -- uninstall -----------------------------------------------------------------
+
+
+def test_uninstall_restores_original_methods(u3cu3_supercircuit, yorktown):
+    was_installed = sanitizer_installed()
+    install_sanitizer()
+    try:
+        evolution = make_evolution(yorktown)
+        bound = bound_circuit(
+            u3cu3_supercircuit, evolution, evolution.random_config()
+        )
+        mapping = evolution.random_mapping()
+        cache = TranspileCache(maxsize=8)
+        compiled = cache.get(bound, yorktown, initial_layout=mapping)
+        cache.export_entries()
+        uninstall_sanitizer()
+        assert not sanitizer_installed()
+
+        compiled.num_swaps += 1
+        cache.export_entries()  # hooks gone: no verification, no raise
+    finally:
+        if was_installed:
+            install_sanitizer()
+        elif sanitizer_installed():
+            uninstall_sanitizer()
+
+
+def test_entry_fingerprint_is_stable_and_content_sensitive(
+    u3cu3_supercircuit, yorktown
+):
+    evolution = make_evolution(yorktown)
+    bound = bound_circuit(u3cu3_supercircuit, evolution, evolution.random_config())
+    mapping = evolution.random_mapping()
+    cache = TranspileCache(maxsize=8)
+    compiled = cache.get(bound, yorktown, initial_layout=mapping)
+
+    first = entry_fingerprint(compiled)
+    assert entry_fingerprint(compiled) == first
+    compiled.num_swaps += 1
+    assert entry_fingerprint(compiled) != first
