@@ -28,6 +28,8 @@ from ..quantum.statevector import (
     expectation_pauli_sum,
     expectation_z_all,
     op_matrix,
+    run_parameterized,
+    run_parameterized_rows,
     zero_state,
 )
 from .base import (
@@ -87,15 +89,32 @@ class StatevectorBackend(SimulationBackend):
         self.batches_run = 0
 
     def run_group(self, entry, jobs: List[SimulationJob]) -> List[JobResult]:
-        """One forward pass per job; ``features`` may be a whole matrix."""
+        """One forward pass per job; ``features`` may be a whole matrix.
+
+        A job carrying its own ``weights`` (the gradient engine's shifted
+        evaluations) overrides the entry's inherited weight vector; a 2-D
+        ``(rows, num_weights)`` weight matrix runs every row over the whole
+        feature batch in one pass (row-major).  Weight-carrying jobs bypass
+        the fusion plan — its fused matrices bake the *entry's* weights in.
+        """
         self.groups_run += 1
         handles: List[JobResult] = []
         for job in jobs:
-            states = self._forward_states(entry, job.features)
+            if job.weights is not None:
+                states = self._weighted_states(entry, job)
+            else:
+                states = self._forward_states(entry, job.features)
             self.batches_run += 1
             self.jobs_run += states.shape[0]
             handles.append(_StatevectorResult(states))
         return handles
+
+    def _weighted_states(self, entry, job: SimulationJob) -> np.ndarray:
+        circuit = job.circuit if job.circuit is not None else entry.circuit
+        weights = np.asarray(job.weights, dtype=float)
+        if weights.ndim == 2:
+            return run_parameterized_rows(circuit, weights, job.features)
+        return run_parameterized(circuit, weights, job.features)
 
     def stats_delta(self) -> Dict[str, int]:
         return {
@@ -144,8 +163,6 @@ class StatevectorBackend(SimulationBackend):
                 features = features[None, :]
             batch = features.shape[0]
         if not self.fusion:
-            from ..quantum.statevector import run_parameterized
-
             return run_parameterized(circuit, weights, features, batch=batch)
         states = zero_state(circuit.n_qubits, batch)
         for kind, payload in self._fusion_plan(entry):

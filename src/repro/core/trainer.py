@@ -171,12 +171,21 @@ def train_subcircuit_qml(
     n_classes: int,
     train_config: Optional[TrainConfig] = None,
     from_inherited: bool = False,
+    gradient_fn=None,
 ) -> tuple[QNNModel, TrainResult]:
-    """Train a searched SubCircuit from scratch (or finetune inherited weights)."""
+    """Train a searched SubCircuit from scratch (or finetune inherited weights).
+
+    ``gradient_fn`` (e.g. a :class:`~repro.qml.evaluation.
+    ParameterShiftGradient`) switches training from adjoint gradients to the
+    hardware-compatible parameter-shift rule.
+    """
     circuit, _mapping = supercircuit.build_standalone_circuit(sub_config)
     model = QNNModel.from_circuit(circuit, n_classes)
     initial = supercircuit.inherited_weights(sub_config) if from_inherited else None
-    result = train_qnn(model, dataset, train_config, initial_weights=initial)
+    result = train_qnn(
+        model, dataset, train_config,
+        initial_weights=initial, gradient_fn=gradient_fn,
+    )
     return model, result
 
 
@@ -186,8 +195,15 @@ def train_subcircuit_vqe(
     molecule: Molecule,
     vqe_config: Optional[VQEConfig] = None,
     from_inherited: bool = False,
+    backend=None,
+    initial_layout=None,
 ) -> tuple[VQEModel, VQEResult]:
-    """Train a searched VQE SubCircuit from scratch (or from inherited weights)."""
+    """Train a searched VQE SubCircuit from scratch (or from inherited weights).
+
+    ``backend``/``initial_layout`` are forwarded to :meth:`VQEModel.train`
+    for ``vqe_config.gradient == "parameter_shift"`` runs under a device
+    noise model.
+    """
     circuit, _mapping = supercircuit.build_standalone_circuit(
         sub_config, include_encoder=False
     )
@@ -195,5 +211,8 @@ def train_subcircuit_vqe(
     initial = (
         supercircuit.inherited_weights(sub_config) if from_inherited else None
     )
-    result = model.train(vqe_config, initial_weights=initial)
+    result = model.train(
+        vqe_config, initial_weights=initial,
+        backend=backend, initial_layout=initial_layout,
+    )
     return model, result

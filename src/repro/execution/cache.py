@@ -248,6 +248,12 @@ class ParametricCacheStats(MergeableStats):
     #: branch are re-served by ``get_bound`` and counted there)
     batch_binds: int = 0
     batch_rows: int = 0
+    #: :meth:`ParametricTranspileCache.bind_rows` calls (parameter-shift
+    #: evaluation matrices) and the rows the first variant served; rows that
+    #: crossed a branch go to the bound-key fallback and count in
+    #: ``bind_misses``/``fallbacks``
+    gradient_binds: int = 0
+    gradient_rows: int = 0
     compile_seconds: float = 0.0
     bind_seconds: float = 0.0
 
@@ -608,6 +614,121 @@ class ParametricTranspileCache:
                 optimization_level=optimization_level,
             )
         return binding, fallback
+
+    def bind_rows(
+        self,
+        circuit: ParameterizedCircuit,
+        values: np.ndarray,
+        witness_weights: np.ndarray,
+        device: Optional[Device] = None,
+        initial_layout=None,
+        optimization_level: int = 2,
+    ) -> Tuple[Optional[TemplateBatchBinding], dict]:
+        """Bind a full ``(rows, n_weights + n_features)`` values matrix.
+
+        The gradient sibling of :meth:`get_bound_batch`: parameter-shift
+        evaluation rows differ in their *weight* blocks too (every row is
+        the same structure under a shifted weight vector), so the whole
+        matrix goes through one vectorized template fill.  Returns
+        ``(binding, {row: CompiledCircuit})`` with the same alignment
+        contract as :meth:`get_bound_batch`.
+
+        Deterministic-path contract: a row is served by the structure's
+        *first* template variant, or — when it crosses that variant's
+        compile-time branches — directly by the exact bound-key fallback.
+        Unlike :meth:`get_bound`, a miss never advances the adaptive-variant
+        miss counter and never compiles a new variant, so each row's
+        template-vs-fallback path is a pure function of (row values, first
+        variant): sharded gradient workers serving different row subsets of
+        the same step produce bit-for-bit the circuits any other worker
+        split would.
+
+        The first variant (compiled here on a cold structure) is traced
+        against the same hybrid witness convention as :meth:`get_bound` —
+        ``witness_weights`` (the unshifted center weights) joined with
+        generic nowhere-zero feature values — so gradient evaluation and the
+        forward-pass paths share one template per structure.
+        """
+        if device is None:
+            raise ValueError("device is required")
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2:
+            raise ValueError("bind_rows expects a 2-D values matrix")
+        witness_weights = np.asarray(witness_weights, dtype=float).ravel()
+        n_weights = witness_weights.shape[0]
+        n_features = values.shape[1] - n_weights
+        if n_features < 0:
+            raise ValueError("values matrix narrower than the weight vector")
+        key = self.key_for(circuit, device, initial_layout, optimization_level)
+        state = self._structure_state(key)
+        if state is None:
+            state = self._insert_structure(key)
+        if not state.variants:
+            if n_features > 0:
+                generic = _default_witness(n_features, None)
+                witness = np.concatenate([witness_weights, generic])
+            else:
+                witness = witness_weights
+            state.variants.append(
+                self._compile(
+                    circuit, device, initial_layout, optimization_level,
+                    key[-1], witness,
+                )
+            )
+        start = time.perf_counter()
+        ok, binding = state.variants[0].bind_batch(values)
+        # repro: ignore[det-monotonic-flow] -- timing feeds the stats counter only
+        self.stats.bind_seconds += time.perf_counter() - start
+        self.stats.gradient_binds += 1
+        self.stats.gradient_rows += int(ok.sum())
+        fallback = {}
+        for row in np.flatnonzero(~ok):
+            row = int(row)
+            fallback[row] = self._bound_row_fallback(
+                circuit, key, values[row], n_weights,
+                device, initial_layout, optimization_level,
+            )
+        return binding, fallback
+
+    def _bound_row_fallback(
+        self, circuit, key, row_values, n_weights,
+        device, initial_layout, optimization_level,
+    ) -> CompiledCircuit:
+        """Exact bound-key service of one branch-crossing row.
+
+        Shares the bound LRU with :meth:`get_bound` (same ``(key, values)``
+        convention), but never touches the adaptive-variant machinery — see
+        the :meth:`bind_rows` determinism contract.
+        """
+        row_values = np.ascontiguousarray(row_values, dtype=float)
+        bound_key = (key, row_values.tobytes())
+        bound = self._bound.get(bound_key)
+        if bound is not None:
+            self.stats.bind_hits += 1
+            self._bound.move_to_end(bound_key)
+            return bound
+        self.stats.bind_misses += 1
+        self.stats.fallbacks += 1
+        weights = row_values[:n_weights]
+        features_row = row_values[n_weights:]
+        bound_circuit = (
+            circuit.bind(weights, features_row)
+            if features_row.size
+            else circuit.bind(weights)
+        )
+        # the structure's pinned seed rides along, exactly as in get_bound
+        compiled = self.fallback.get(
+            bound_circuit,
+            device,
+            initial_layout=initial_layout,
+            optimization_level=optimization_level,
+            seed=key[-1],
+        )
+        self._bound[bound_key] = compiled
+        if len(self._bound) > self.bound_maxsize:
+            self._bound.popitem(last=False)
+            self.stats.bind_evictions += 1
+        return compiled
 
     # -- sharded-worker entry exchange --------------------------------------
 

@@ -1,0 +1,520 @@
+"""Sharded multi-process parameter-shift gradient evaluation.
+
+:class:`ShardedGradientEngine` partitions one gradient step's evaluation
+rows (shifted weight vectors) across a persistent pool of worker processes,
+the way :class:`~repro.execution.scheduler.ShardedExecutionEngine` shards a
+population's structure groups across generations.  Each worker owns a full
+sequential-mode :class:`~repro.gradients.engine.BatchedGradientEngine` —
+including its own transpile/parametric caches, which stay warm across
+training epochs — and after every step each worker's *new* cache entries
+and counter deltas are merged back into the parent engine through the
+explicit :class:`~repro.execution.stats.MergeableStats` protocol.
+
+Determinism contract
+--------------------
+Gradients are bit-for-bit independent of the worker count.  Three rules make
+that hold (mirroring the scheduler's contract):
+
+1. **The unit of evaluation is one weight row, everywhere.**  A row (one
+   shifted weight vector, all samples) is always evaluated through one
+   sequential-mode engine call — inside a worker, inside the parent when
+   ``workers <= 1``, and inside the parent again when a step degrades — so
+   the simulation batches, template binds and cache-state evolution a row
+   sees are identical no matter where it runs.
+2. **Shard assignment is a pure function of the row count** —
+   ``np.array_split`` over the global row indices, never pool state.
+3. **Randomness is pinned by content.**  Shot-job seed keys and measured
+   VQE reseeds derive from *global* row labels shipped with each task, so
+   a row samples identically under any partition.  Both parent and worker
+   engines start from fresh caches with the step's center weights as the
+   template witness, so cold-compiled template variants match bit-for-bit
+   across processes.
+
+Graceful degradation: any worker failure (including a broken pool) emits a
+``RuntimeWarning`` and re-evaluates the step's rows in-process — row-at-a-
+time, exactly like rule 1 — so a fault can delay a step but never change a
+gradient.  Cache entries already returned by healthy shards are adopted
+first, so the retry is warm.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..execution.cache import ParametricCacheStats, TranspileCacheStats
+from ..execution.stats import MergeableStats
+from ..utils.rng import stable_seed
+from .engine import BatchedGradientEngine, GradientEngineConfig
+
+__all__ = ["GradientShardStats", "ShardedGradientEngine"]
+
+
+@dataclass
+class GradientShardStats(MergeableStats):
+    """Counters describing what the sharded gradient scheduler did."""
+
+    steps: int = 0
+    sharded_steps: int = 0
+    in_process_steps: int = 0
+    degraded_steps: int = 0
+    shards_dispatched: int = 0
+    worker_failures: int = 0
+    adopted_bound_entries: int = 0
+    adopted_structures: int = 0
+    adopted_parametric_bound: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Task / result payloads crossing the process boundary
+# ---------------------------------------------------------------------------
+
+
+# repro: pickle-boundary
+@dataclass
+class _GradientShardTask:
+    """One shard's slice of a gradient step's evaluation rows."""
+
+    shard_index: int
+    #: shard-stable seed (defensive, like the scheduler's rule 3: no sharded
+    #: gradient path consumes an unpinned stream today)
+    seed: int
+    kind: str                         # "qml" | "vqe"
+    circuit: object                   # the QML circuit / VQE ansatz
+    rows: np.ndarray                  # this shard's weight rows
+    row_labels: np.ndarray            # global row indices of ``rows``
+    witness_weights: np.ndarray       # the step's center weight vector
+    features: Optional[np.ndarray]    # QML feature batch (None for VQE)
+    plan: Optional[object]            # VQE MeasurementPlan (None for QML)
+    fail: bool = False                # fault-injection test seam
+
+
+# repro: pickle-boundary
+@dataclass
+class _GradientShardResult:
+    """Row values plus the accounting deltas one shard produced."""
+
+    shard_index: int
+    values: np.ndarray
+    engine_stats: object
+    bound_stats: TranspileCacheStats
+    parametric_stats: ParametricCacheStats
+    bound_entries: list
+    parametric_entries: dict
+    elapsed_seconds: float
+
+
+class _GradientShardFailure(Exception):
+    """Raised in the parent when any shard of a step failed."""
+
+    def __init__(
+        self, results: List[_GradientShardResult], cause: BaseException
+    ) -> None:
+        super().__init__(str(cause))
+        self.results = results
+        self.cause = cause
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side
+# ---------------------------------------------------------------------------
+
+
+class _GradientWorkerContext:
+    """Per-process sequential gradient engine plus export bookkeeping."""
+
+    def __init__(self, device, config, initial_layout) -> None:
+        self.engine = BatchedGradientEngine(
+            device, config, initial_layout=initial_layout, engine="sequential"
+        )
+        self.exported_bound: set = set()
+        self.exported_structures: set = set()
+        self.exported_parametric_bound: set = set()
+
+    def run(self, task: _GradientShardTask) -> _GradientShardResult:
+        if task.fail:
+            raise RuntimeError(
+                f"injected worker fault in gradient shard {task.shard_index} "
+                "(test seam)"
+            )
+        start = time.perf_counter()
+        engine = self.engine
+        engine_before = engine.stats.copy()
+        bound_before = engine.transpile_cache.stats.copy()
+        parametric_before = engine.parametric_transpile_cache.stats.copy()
+
+        if task.kind == "qml":
+            values = engine.qml_expectations_rows(
+                task.circuit,
+                task.rows,
+                task.features,
+                row_labels=task.row_labels,
+                witness_weights=task.witness_weights,
+            )
+        else:
+            values = engine.vqe_energy_rows(
+                task.circuit,
+                task.plan,
+                task.rows,
+                row_labels=task.row_labels,
+                witness_weights=task.witness_weights,
+            )
+
+        bound_entries = engine.transpile_cache.export_entries(self.exported_bound)
+        parametric_entries = engine.parametric_transpile_cache.export_entries(
+            self.exported_structures, self.exported_parametric_bound
+        )
+        # Exclusion sets are refreshed from the caches (not accumulated): an
+        # entry evicted worker-side and recompiled later must ship again, and
+        # the sets must stay bounded by the cache sizes.
+        self.exported_bound = engine.transpile_cache.export_keys()
+        self.exported_structures, self.exported_parametric_bound = (
+            engine.parametric_transpile_cache.export_keys()
+        )
+        return _GradientShardResult(
+            shard_index=task.shard_index,
+            values=values,
+            engine_stats=engine.stats.diff(engine_before),
+            bound_stats=engine.transpile_cache.stats.diff(bound_before),
+            parametric_stats=engine.parametric_transpile_cache.stats.diff(
+                parametric_before
+            ),
+            bound_entries=bound_entries,
+            parametric_entries=parametric_entries,
+            # repro: ignore[det-monotonic-flow] -- per-shard timing report only
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+
+_GRADIENT_WORKER_CONTEXT: Optional[_GradientWorkerContext] = None
+
+
+def _init_gradient_worker(device, config, initial_layout) -> None:
+    global _GRADIENT_WORKER_CONTEXT
+    _GRADIENT_WORKER_CONTEXT = _GradientWorkerContext(
+        device, config, initial_layout
+    )
+
+
+def _run_gradient_shard(task: _GradientShardTask) -> _GradientShardResult:
+    if _GRADIENT_WORKER_CONTEXT is None:
+        raise RuntimeError("gradient worker used before _init_gradient_worker")
+    return _GRADIENT_WORKER_CONTEXT.run(task)
+
+
+def _ping(value: int) -> int:
+    """No-op task used by :meth:`ShardedGradientEngine.warm_up`."""
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Parent-process scheduler
+# ---------------------------------------------------------------------------
+
+
+class ShardedGradientEngine:
+    """A gradient engine that fans evaluation rows out to worker processes.
+
+    Drop-in for the sequential-mode :class:`BatchedGradientEngine` (it owns
+    one for the in-process and degraded paths): ``shift_plan``,
+    ``qml_expectations_rows`` and ``vqe_energy_rows`` have identical
+    signatures and — by the determinism contract above — produce identical
+    floats.  Both the parent engine and every worker start from *fresh*
+    caches, so warm state never depends on what ran before the engine was
+    constructed.
+
+    Call :meth:`close` (or use the context-manager protocol) to shut the
+    worker pools down.
+    """
+
+    def __init__(
+        self,
+        device=None,
+        config: Optional[GradientEngineConfig] = None,
+        *,
+        initial_layout=None,
+        workers: int = 1,
+    ) -> None:
+        self.device = device
+        self.config = config if config is not None else GradientEngineConfig()
+        self.initial_layout = initial_layout
+        self.workers = int(workers)
+        self.engine = BatchedGradientEngine(
+            device, self.config, initial_layout=initial_layout,
+            engine="sequential",
+        )
+        self.scheduler_stats = GradientShardStats()
+        self.last_shard_reports: List[dict] = []
+        # One single-process pool per shard slot, so shard i always runs in
+        # the same worker process and its caches stay warm across steps.
+        self._executors: List[Optional[ProcessPoolExecutor]] = [None] * max(
+            0, self.workers
+        )
+        #: shard indices that raise instead of evaluating — fault-injection
+        #: seam for the degradation tests; never set in production code
+        self._fault_shards: frozenset = frozenset()
+
+    # -- delegation -----------------------------------------------------------
+
+    @property
+    def stats(self):
+        return self.engine.stats
+
+    @property
+    def transpile_cache(self):
+        return self.engine.transpile_cache
+
+    @property
+    def parametric_transpile_cache(self):
+        return self.engine.parametric_transpile_cache
+
+    @property
+    def engine_mode(self) -> str:
+        return "sharded"
+
+    def resolve_mode(self) -> str:
+        return self.engine.resolve_mode()
+
+    def shift_plan(self, circuit):
+        return self.engine.shift_plan(circuit)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def warm_up(self) -> None:
+        """Start the worker pools ahead of time (overlapping startups)."""
+        if self.workers > 1:
+            futures = [
+                self._ensure_executor(shard_index).submit(_ping, shard_index)
+                for shard_index in range(self.workers)
+            ]
+            for future in futures:
+                future.result()
+
+    def close(self) -> None:
+        """Shut every worker pool down (idempotent, safe on partial init)."""
+        executors = getattr(self, "_executors", None)
+        if not executors:
+            return
+        for shard_index, executor in enumerate(executors):
+            if executor is not None:
+                executor.shutdown(wait=True, cancel_futures=True)
+                executors[shard_index] = None
+
+    def __enter__(self) -> "ShardedGradientEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close()/__exit__ is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _ensure_executor(self, shard_index: int) -> ProcessPoolExecutor:
+        if self._executors[shard_index] is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            self._executors[shard_index] = ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=multiprocessing.get_context(method),
+                initializer=_init_gradient_worker,
+                initargs=(self.device, self.config, self.initial_layout),
+            )
+        return self._executors[shard_index]
+
+    # -- evaluation -----------------------------------------------------------
+
+    def qml_expectations_rows(
+        self,
+        circuit,
+        rows: np.ndarray,
+        features: np.ndarray,
+        row_labels: Optional[np.ndarray] = None,
+        witness_weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        rows = np.asarray(rows, dtype=float)
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features[None, :]
+        return self._evaluate(
+            "qml", circuit, rows, row_labels, witness_weights,
+            features=features, plan=None,
+        )
+
+    def vqe_energy_rows(
+        self,
+        ansatz,
+        plan,
+        rows: np.ndarray,
+        row_labels: Optional[np.ndarray] = None,
+        witness_weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        rows = np.asarray(rows, dtype=float)
+        return self._evaluate(
+            "vqe", ansatz, rows, row_labels, witness_weights,
+            features=None, plan=plan,
+        )
+
+    def _evaluate(
+        self, kind, circuit, rows, row_labels, witness_weights, features, plan
+    ) -> np.ndarray:
+        if rows.ndim != 2:
+            raise ValueError("gradient engines expect a 2-D row matrix")
+        n_rows = rows.shape[0]
+        labels = (
+            np.arange(n_rows)
+            if row_labels is None
+            else np.asarray(row_labels, dtype=int).ravel()
+        )
+        witness = (
+            np.asarray(rows[0], dtype=float)
+            if witness_weights is None
+            else np.asarray(witness_weights, dtype=float).ravel()
+        )
+        self.scheduler_stats.steps += 1
+        shard_count = min(self.workers, n_rows)
+
+        def in_process() -> np.ndarray:
+            if kind == "qml":
+                return self.engine.qml_expectations_rows(
+                    circuit, rows, features,
+                    row_labels=labels, witness_weights=witness,
+                )
+            return self.engine.vqe_energy_rows(
+                circuit, plan, rows,
+                row_labels=labels, witness_weights=witness,
+            )
+
+        if shard_count <= 1:
+            self.scheduler_stats.in_process_steps += 1
+            self.last_shard_reports = []
+            return in_process()
+
+        splits = np.array_split(np.arange(n_rows), shard_count)
+        try:
+            results = self._run_sharded(
+                kind, circuit, rows, labels, witness, features, plan, splits
+            )
+        except Exception as exc:  # noqa: BLE001 — degrade on any fault
+            self._degrade(exc)
+            return in_process()
+        self.scheduler_stats.sharded_steps += 1
+        return self._merge_results(results, splits, rows.shape, kind)
+
+    def _run_sharded(
+        self, kind, circuit, rows, labels, witness, features, plan, splits
+    ) -> List[_GradientShardResult]:
+        seed = int(self.config.seed)
+        futures = []
+        for shard_index, split in enumerate(splits):
+            task = _GradientShardTask(
+                shard_index=shard_index,
+                seed=stable_seed((seed, "gradient-shard", shard_index)),
+                kind=kind,
+                circuit=circuit,
+                rows=rows[split],
+                row_labels=labels[split],
+                witness_weights=witness,
+                features=features,
+                plan=plan,
+                fail=shard_index in self._fault_shards,
+            )
+            futures.append(
+                self._ensure_executor(shard_index).submit(
+                    _run_gradient_shard, task
+                )
+            )
+        self.scheduler_stats.shards_dispatched += len(futures)
+        results: List[_GradientShardResult] = []
+        failures: List[BaseException] = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as exc:  # noqa: BLE001 — collected, then degrade
+                failures.append(exc)
+        if failures:
+            self.scheduler_stats.worker_failures += len(failures)
+            raise _GradientShardFailure(results, failures[0])
+        return results
+
+    # -- merging -------------------------------------------------------------
+
+    def _merge_results(
+        self, results, splits, rows_shape, kind
+    ) -> np.ndarray:
+        by_shard = sorted(results, key=lambda r: r.shard_index)
+        first = np.asarray(by_shard[0].values)
+        out_shape = (rows_shape[0],) + first.shape[1:]
+        out = np.empty(out_shape, dtype=first.dtype)
+        reports: List[dict] = []
+        for result in by_shard:
+            out[splits[result.shard_index]] = result.values
+            self._merge_shard(result, reports)
+        self.last_shard_reports = reports
+        return out
+
+    def _merge_shard(
+        self, result: _GradientShardResult, reports: List[dict]
+    ) -> None:
+        self.engine.stats.merge(result.engine_stats)
+        self.transpile_cache.stats.merge(result.bound_stats)
+        self.parametric_transpile_cache.stats.merge(result.parametric_stats)
+        self._adopt_entries(result)
+        reports.append(
+            {
+                "shard": result.shard_index,
+                "rows": int(result.engine_stats.rows_evaluated),
+                "elapsed_seconds": result.elapsed_seconds,
+            }
+        )
+
+    def _adopt_entries(self, result: _GradientShardResult) -> None:
+        stats = self.scheduler_stats
+        stats.adopted_bound_entries += self.transpile_cache.adopt_entries(
+            result.bound_entries
+        )
+        structures, bound = self.parametric_transpile_cache.adopt_entries(
+            result.parametric_entries
+        )
+        stats.adopted_structures += structures
+        stats.adopted_parametric_bound += bound
+
+    # -- degradation ----------------------------------------------------------
+
+    def _degrade(self, exc: Exception) -> None:
+        """Account a failed step and prepare the in-process retry."""
+        if isinstance(exc, _GradientShardFailure):
+            # adopt what the healthy shards compiled so the retry is warm;
+            # their stats/values are dropped — the retry recounts everything
+            for result in sorted(exc.results, key=lambda r: r.shard_index):
+                self._adopt_entries(result)
+            cause: BaseException = exc.cause
+        else:
+            cause = exc
+        if isinstance(cause, BrokenProcessPool):
+            # at least one pool is unusable; drop them all so the next step
+            # restarts from fresh workers
+            try:
+                self.close()
+            except Exception:
+                self._executors = [None] * max(0, self.workers)
+        self.scheduler_stats.degraded_steps += 1
+        self.last_shard_reports = []
+        warnings.warn(
+            "sharded gradient evaluation degraded to the in-process path: "
+            f"{cause!r}",
+            RuntimeWarning,
+            stacklevel=3,
+        )

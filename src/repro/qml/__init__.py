@@ -9,6 +9,7 @@ from .encoders import (
     encoder_for_task,
 )
 from .evaluation import (
+    ParameterShiftGradient,
     evaluate_on_backend,
     make_parameter_shift_gradient_fn,
     noisy_expectations,
@@ -28,6 +29,7 @@ __all__ = [
     "encoder_for_task",
     "evaluate_on_backend",
     "make_parameter_shift_gradient_fn",
+    "ParameterShiftGradient",
     "noisy_expectations",
     "QNNModel",
     "readout_matrix",

@@ -127,6 +127,12 @@ def train_qnn(
             )
             record["valid_loss"] = valid["loss"]
             record["valid_accuracy"] = valid["accuracy"]
+        # a gradient_fn that tracks engine counters (ParameterShiftGradient)
+        # reports per-epoch deltas into the history record
+        report = getattr(gradient_fn, "epoch_report", None)
+        if callable(report):
+            for key, value in report().items():
+                record.setdefault(key, value)
         history.append(record)
         if log_fn is not None:
             log_fn(epoch, record)

@@ -14,7 +14,8 @@ Three modes are provided, mirroring the training modes discussed in the paper:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +33,8 @@ __all__ = [
     "adjoint_gradient",
     "parameter_shift_jacobian",
     "finite_difference_gradient",
+    "ShiftRulePlan",
+    "build_shift_plan",
     "SHIFT_EXACT_GATES",
 ]
 
@@ -134,6 +137,108 @@ def adjoint_gradient(
     return grads
 
 
+@dataclass(frozen=True)
+class ShiftRulePlan:
+    """The per-weight shift rule of one circuit structure.
+
+    Classifies every trainable weight once — the two-term shift rule for
+    weights that only feed gates in :data:`SHIFT_EXACT_GATES`, a symmetric
+    finite difference for the rest — and turns that classification into the
+    matrix of shifted weight vectors every gradient engine evaluates.  Built
+    by :func:`build_shift_plan`; shared between the sequential
+    :func:`parameter_shift_jacobian` and the batched engines in
+    :mod:`repro.gradients`, so "which circuits does one gradient take"
+    has exactly one definition.
+
+    Evaluation-row convention: for weight index ``i``, row ``2*i`` is the
+    plus shift and row ``2*i + 1`` the minus shift — ``2 * num_weights``
+    rows total, the unshifted center row is *not* included.
+    """
+
+    num_weights: int
+    #: per-weight flag: exact two-term rule (True) or finite difference
+    exact: Tuple[bool, ...]
+    #: per-weight shift magnitude (``shift`` when exact, ``epsilon`` otherwise)
+    deltas: Tuple[float, ...]
+
+    @property
+    def n_shifted(self) -> int:
+        """Number of shifted evaluation rows (``2 * num_weights``)."""
+        return 2 * self.num_weights
+
+    def shifted_weight_rows(self, weights: np.ndarray) -> np.ndarray:
+        """The ``(2 * num_weights, num_weights)`` matrix of shifted vectors.
+
+        Row ``2*i`` / ``2*i + 1`` apply the same ``+=`` / ``-=`` updates the
+        sequential rule performs, so a batched engine evaluating these rows
+        sees bit-identical weight vectors.
+        """
+        weights = np.asarray(weights, dtype=float).ravel()
+        if weights.shape[0] != self.num_weights:
+            raise ValueError(
+                f"expected {self.num_weights} weights (got {weights.shape[0]})"
+            )
+        rows = np.repeat(weights[None, :], self.n_shifted, axis=0)
+        for index in range(self.num_weights):
+            rows[2 * index, index] += self.deltas[index]
+            rows[2 * index + 1, index] -= self.deltas[index]
+        return rows
+
+    def jacobian_from_shifted(self, shifted: np.ndarray) -> np.ndarray:
+        """Combine shifted evaluations into the Jacobian.
+
+        ``shifted`` has shape ``(2 * num_weights,) + expectations.shape`` in
+        the row convention above; the result has shape
+        ``expectations.shape + (num_weights,)``.  The per-index arithmetic is
+        the exact sequence of float operations the sequential rule performs.
+        """
+        shifted = np.asarray(shifted)
+        if shifted.shape[0] != self.n_shifted:
+            raise ValueError(
+                f"expected {self.n_shifted} shifted evaluations "
+                f"(got {shifted.shape[0]})"
+            )
+        jacobian = np.zeros(shifted.shape[1:] + (self.num_weights,))
+        for index in range(self.num_weights):
+            upper = shifted[2 * index]
+            lower = shifted[2 * index + 1]
+            if self.exact[index]:
+                jacobian[..., index] = 0.5 * (upper - lower)
+            else:
+                jacobian[..., index] = (upper - lower) / (2.0 * self.deltas[index])
+        return jacobian
+
+
+def build_shift_plan(
+    pcirc: ParameterizedCircuit,
+    shift: float = np.pi / 2,
+    epsilon: float = 1e-3,
+) -> ShiftRulePlan:
+    """Classify every weight of ``pcirc`` for the parameter-shift rule.
+
+    A weight is *exact* when every gate it feeds is in
+    :data:`SHIFT_EXACT_GATES`; other weights (e.g. controlled-rotation
+    angles) fall back to a symmetric finite difference, which is what one
+    would run on hardware when no exact rule applies.
+    """
+    weight_gates: dict[int, set[str]] = {}
+    for op in pcirc.ops:
+        for index in op.weight_indices:
+            weight_gates.setdefault(index, set()).add(op.gate)
+    exact = []
+    deltas = []
+    for index in range(pcirc.num_weights):
+        gates = weight_gates.get(index, set())
+        is_exact = bool(gates) and gates <= SHIFT_EXACT_GATES
+        exact.append(is_exact)
+        deltas.append(shift if is_exact else epsilon)
+    return ShiftRulePlan(
+        num_weights=pcirc.num_weights,
+        exact=tuple(exact),
+        deltas=tuple(deltas),
+    )
+
+
 def parameter_shift_jacobian(
     expectations_fn: Callable[[np.ndarray], np.ndarray],
     pcirc: ParameterizedCircuit,
@@ -147,35 +252,20 @@ def parameter_shift_jacobian(
     (any shape); the returned Jacobian has shape ``expectations.shape +
     (num_weights,)``.
 
-    The two-term shift rule is used for weights that only feed gates in
-    :data:`SHIFT_EXACT_GATES`; other weights (e.g. controlled-rotation angles)
-    fall back to a symmetric finite difference, which is what one would run on
-    hardware when no exact rule applies.
+    The shifted weight vectors and the per-weight rule (exact two-term shift
+    vs symmetric finite difference) come from :func:`build_shift_plan`, the
+    single source of truth shared with the batched engines in
+    :mod:`repro.gradients`; this function evaluates the rows one
+    ``expectations_fn`` call at a time.
     """
+    plan = build_shift_plan(pcirc, shift=shift, epsilon=epsilon)
     weights = np.asarray(weights, dtype=float)
     reference = np.asarray(expectations_fn(weights))
-    jacobian = np.zeros(reference.shape + (pcirc.num_weights,))
-
-    weight_gates: dict[int, set[str]] = {}
-    for op in pcirc.ops:
-        for index in op.weight_indices:
-            weight_gates.setdefault(index, set()).add(op.gate)
-
-    for index in range(pcirc.num_weights):
-        gates = weight_gates.get(index, set())
-        exact = bool(gates) and gates <= SHIFT_EXACT_GATES
-        delta = shift if exact else epsilon
-        plus = weights.copy()
-        minus = weights.copy()
-        plus[index] += delta
-        minus[index] -= delta
-        upper = np.asarray(expectations_fn(plus))
-        lower = np.asarray(expectations_fn(minus))
-        if exact:
-            jacobian[..., index] = 0.5 * (upper - lower)
-        else:
-            jacobian[..., index] = (upper - lower) / (2.0 * delta)
-    return jacobian
+    rows = plan.shifted_weight_rows(weights)
+    if rows.shape[0] == 0:
+        return np.zeros(reference.shape + (0,))
+    shifted = np.stack([np.asarray(expectations_fn(row)) for row in rows])
+    return plan.jacobian_from_shifted(shifted)
 
 
 def finite_difference_gradient(

@@ -117,20 +117,33 @@ class MeasurementPlan:
         self.n_qubits = n_qubits
         self.groups: List[List[PauliString]] = group_commuting(observable)
         self.constant = observable.constant
+        self._settings: Optional[
+            List[Tuple[QuantumCircuit, List[PauliString]]]
+        ] = None
 
     def __len__(self) -> int:
         return len(self.groups)
 
     def settings(self) -> List[Tuple[QuantumCircuit, List[PauliString]]]:
-        """(basis-change circuit, terms measured in that setting) pairs."""
-        out = []
-        for group in self.groups:
-            bases: Dict[int, str] = {}
-            for term in group:
-                for qubit, pauli in term.paulis:
-                    bases[qubit] = pauli
-            out.append((basis_change_circuit(self.n_qubits, bases), group))
-        return out
+        """(basis-change circuit, terms measured in that setting) pairs.
+
+        Memoized: a parameter-shift gradient of a measured energy evaluates
+        the same settings ``2 * num_weights + 1`` times per step, and plans
+        are hoisted per task (the estimator's per-task cache), so the
+        basis-change circuits are derived once per plan, not once per
+        shifted evaluation.  Callers must treat the returned list (and its
+        circuits) as immutable.
+        """
+        if self._settings is None:
+            out = []
+            for group in self.groups:
+                bases: Dict[int, str] = {}
+                for term in group:
+                    for qubit, pauli in term.paulis:
+                        bases[qubit] = pauli
+                out.append((basis_change_circuit(self.n_qubits, bases), group))
+            self._settings = out
+        return self._settings
 
     def expectation_from_group_probabilities(
         self, group_probabilities: Sequence[np.ndarray]

@@ -24,6 +24,7 @@ __all__ = [
     "op_matrix",
     "run_circuit",
     "run_parameterized",
+    "run_parameterized_rows",
     "circuit_unitary",
     "probabilities",
     "expectation_z",
@@ -140,6 +141,73 @@ def run_parameterized(
     states = zero_state(pcirc.n_qubits, batch or 1)
     for gate, qubits, params in resolved_operations(pcirc, weights, features):
         states = apply_matrix(states, _op_matrix(gate, params), qubits)
+    return states
+
+
+def run_parameterized_rows(
+    pcirc: ParameterizedCircuit,
+    weight_rows: np.ndarray,
+    features: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Simulate a circuit for a whole *matrix* of weight vectors at once.
+
+    The gradient sibling of :func:`run_parameterized`: a parameter-shift
+    gradient evaluates the same structure under ``2 * num_weights + 1``
+    weight vectors, so the weight rows join the batch dimension.  Returns
+    states of shape ``(n_rows * batch,) + (2,) * n_qubits`` in row-major
+    order (weight row varies slowest, feature row fastest); ``features``
+    defaults to a single empty sample (``batch = 1``).
+
+    Per-pair states match ``run_parameterized(pcirc, weight_rows[r],
+    features)`` up to last-ulp contraction-order differences: a shared gate
+    applies as one 2-D matrix there and as part of a stacked batch here.
+    """
+    weight_rows = np.asarray(weight_rows, dtype=float)
+    if weight_rows.ndim != 2:
+        raise ValueError("run_parameterized_rows expects a 2-D weight matrix")
+    n_rows = weight_rows.shape[0]
+    if n_rows == 0:
+        raise ValueError("run_parameterized_rows needs at least one weight row")
+    if features is not None:
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features[None, :]
+        batch = features.shape[0]
+    else:
+        batch = 1
+    states = zero_state(pcirc.n_qubits, n_rows * batch)
+    for op in pcirc.ops:
+        if op.is_trainable:
+            if op.uses_input:
+                # mixed weight/input op: per-row (batch, k) blocks, row-major
+                params = np.concatenate(
+                    [
+                        np.atleast_2d(pcirc.resolve_params(op, row, features))
+                        for row in weight_rows
+                    ],
+                    axis=0,
+                )
+                matrix = op_matrix(op.gate, params)
+            else:
+                params = np.stack(
+                    [pcirc.resolve_params(op, row, None) for row in weight_rows]
+                )
+                matrix = op_matrix(op.gate, params)
+                if batch > 1:
+                    matrix = np.repeat(matrix, batch, axis=0)
+        elif op.uses_input:
+            params = np.atleast_2d(
+                pcirc.resolve_params(op, weight_rows[0], features)
+            )
+            matrix = op_matrix(op.gate, params)
+            if n_rows > 1:
+                matrix = np.tile(matrix, (n_rows, 1, 1))
+        else:
+            # constant op: one matrix shared by every (row, sample) pair
+            matrix = op_matrix(
+                op.gate, pcirc.resolve_params(op, weight_rows[0], None)
+            )
+        states = apply_matrix(states, matrix, op.qubits)
     return states
 
 

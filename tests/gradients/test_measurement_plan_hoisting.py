@@ -1,0 +1,152 @@
+"""Regression guards for per-structure hoisting in gradient evaluation.
+
+A shift-rule gradient evaluates the *same* circuit structure under
+``2 * num_weights + 1`` weight rows, so everything derived from the
+structure alone must be built once per structure, never once per shifted
+row:
+
+* :meth:`MeasurementPlan.settings` derives each commuting group's
+  basis-change circuit exactly once per plan (memoized), no matter how many
+  rows the measured/density loops evaluate;
+* the gradient engine hoists one parametric (ansatz + basis change)
+  structure per measurement group and reuses it for every row and every
+  step;
+* the parametric transpile cache compiles one template per structure — a
+  whole gradient is angle re-binds, not recompilations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices import QuantumBackend
+from repro.execution.cache import ParametricTranspileCache, TranspileCache
+from repro.gradients import BatchedGradientEngine, GradientEngineConfig
+from repro.qml import ParameterShiftGradient, QNNModel, encoder_for_task
+from repro.quantum import measurement
+from repro.quantum.measurement import MeasurementPlan
+from repro.vqe import VQEModel, build_uccsd_ansatz, load_molecule
+
+
+@pytest.fixture()
+def basis_change_calls(monkeypatch):
+    """Count every basis-change derivation MeasurementPlan performs."""
+    calls = []
+    original = measurement.basis_change_circuit
+
+    def counting(n_qubits, bases):
+        calls.append(dict(bases))
+        return original(n_qubits, bases)
+
+    monkeypatch.setattr(measurement, "basis_change_circuit", counting)
+    return calls
+
+
+def tiny_model():
+    model = QNNModel(4, 2, encoder=encoder_for_task("mnist-2"))
+    for qubit in range(4):
+        model.add_trainable("ry", (qubit,))
+    for qubit in range(3):
+        model.add_trainable("rzz", (qubit, qubit + 1))
+    return model
+
+
+class TestMeasurementPlanMemoization:
+    def test_settings_derived_once_per_plan(self, basis_change_calls):
+        molecule = load_molecule("h2")
+        plan = MeasurementPlan(molecule.hamiltonian, molecule.n_qubits)
+        first = plan.settings()
+        n_groups = len(first)
+        assert len(basis_change_calls) == n_groups
+        assert plan.settings() is first
+        assert len(basis_change_calls) == n_groups
+
+    def test_density_gradient_derives_settings_once(
+        self, santiago, basis_change_calls
+    ):
+        molecule = load_molecule("h2")
+        model = VQEModel(
+            build_uccsd_ansatz(molecule.n_qubits, max_doubles=1), molecule
+        )
+        engine = BatchedGradientEngine(santiago, GradientEngineConfig(shots=0))
+        weights = model.init_weights(np.random.default_rng(1))
+        for _step in range(2):
+            energy, _grads = model._shift_energy_and_gradient(engine, weights)
+            assert np.isfinite(energy)
+        # one derivation per commuting group for the whole 2-step gradient
+        # run — the per-shifted-row rebuilds this guards against would scale
+        # the count by rows * steps
+        n_groups = len(model.measurement_plan.settings())
+        assert len(basis_change_calls) == n_groups
+
+    def test_measured_loop_derives_settings_once(
+        self, santiago, basis_change_calls
+    ):
+        molecule = load_molecule("h2")
+        model = VQEModel(
+            build_uccsd_ansatz(molecule.n_qubits, max_doubles=1), molecule
+        )
+        engine = BatchedGradientEngine(
+            santiago, GradientEngineConfig(shots=128, seed=2)
+        )
+        weights = model.init_weights(np.random.default_rng(2))
+        plan = engine.shift_plan(model.ansatz)
+        rows = np.concatenate(
+            [weights[None, :], plan.shifted_weight_rows(weights)]
+        )
+        engine.vqe_energy_rows(
+            model.ansatz, model.measurement_plan, rows, witness_weights=weights
+        )
+        n_groups = len(model.measurement_plan.settings())
+        assert engine.stats.measured_rows == rows.shape[0]
+        assert len(basis_change_calls) == n_groups
+
+
+class TestStructureHoisting:
+    def test_vqe_group_structures_built_once(self, santiago):
+        molecule = load_molecule("h2")
+        model = VQEModel(
+            build_uccsd_ansatz(molecule.n_qubits, max_doubles=1), molecule
+        )
+        engine = BatchedGradientEngine(santiago, GradientEngineConfig(shots=0))
+        weights = model.init_weights(np.random.default_rng(3))
+        model._shift_energy_and_gradient(engine, weights)
+        assert len(engine._vqe_structures) == 1
+        structures = engine._vqe_group_structures(
+            model.ansatz, model.measurement_plan
+        )
+        stats = engine.parametric_transpile_cache.stats
+        misses_after_first = stats.structure_misses
+        variants_after_first = stats.variants_compiled
+        assert misses_after_first == len(structures)
+        # a second step re-binds angles into the same templates: no new
+        # structures, no new compiled variants
+        model._shift_energy_and_gradient(engine, weights + 0.05)
+        assert len(engine._vqe_structures) == 1
+        assert stats.structure_misses == misses_after_first
+        assert stats.variants_compiled == variants_after_first
+        assert stats.structure_hits >= len(structures)
+
+    def test_qml_gradient_compiles_structure_once(self, santiago):
+        model = tiny_model()
+        backend = QuantumBackend(
+            santiago, shots=0, seed=0,
+            transpile_cache=TranspileCache(),
+            parametric_cache=ParametricTranspileCache(),
+        )
+        rng = np.random.default_rng(4)
+        weights = rng.uniform(-np.pi, np.pi, size=model.num_weights)
+        features = rng.uniform(-np.pi, np.pi, size=(2, 16))
+        labels = np.array([0, 1])
+        with ParameterShiftGradient(backend, workers=1) as gradient:
+            # the engine joins the backend's caches (the cache-sharing
+            # contract): gradient compilations warm the evaluation path
+            engine = gradient._engine
+            assert engine.parametric_transpile_cache is backend.parametric_cache
+            assert engine.transpile_cache is backend.transpile_cache
+            gradient(model, weights, features, labels)
+            stats = engine.parametric_transpile_cache.stats
+            assert stats.structure_misses == 1
+            variants_after_first = stats.variants_compiled
+            gradient(model, weights + 0.05, features, labels)
+            assert stats.structure_misses == 1
+            assert stats.variants_compiled == variants_after_first
