@@ -175,9 +175,19 @@ def shard_report(engine, elapsed):
         "scheduler": {
             "generations": engine.scheduler_stats.generations,
             "sharded_generations": engine.scheduler_stats.sharded_generations,
+            "degraded_generations": engine.scheduler_stats.degraded_generations,
             "shards_dispatched": engine.scheduler_stats.shards_dispatched,
             "adopted_bound_entries": engine.scheduler_stats.adopted_bound_entries,
             "adopted_structures": engine.scheduler_stats.adopted_structures,
+            # resilience counters (repro.execution.resilience): all zero in
+            # a healthy run — nonzero values flag infrastructure trouble
+            "worker_failures": engine.scheduler_stats.worker_failures,
+            "retried_shards": engine.scheduler_stats.retried_shards,
+            "rebalanced_shards": engine.scheduler_stats.rebalanced_shards,
+            "respawned_pools": engine.scheduler_stats.respawned_pools,
+            "deadline_timeouts": engine.scheduler_stats.deadline_timeouts,
+            "flaky_recoveries": engine.scheduler_stats.flaky_recoveries,
+            "watchdog_wait_seconds": engine.scheduler_stats.watchdog_wait_seconds,
         },
         "parallel_efficiency": (
             sum(r["elapsed_seconds"] for r in engine.last_shard_reports) / elapsed

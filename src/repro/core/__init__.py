@@ -7,6 +7,7 @@ from .design_space import (
     available_design_spaces,
     get_design_space,
 )
+from .checkpoint import SearchCheckpointer
 from .estimator import EstimatorConfig, PerformanceEstimator
 from .evolution import (
     Candidate,
@@ -52,6 +53,7 @@ __all__ = [
     "get_design_space",
     "EstimatorConfig",
     "PerformanceEstimator",
+    "SearchCheckpointer",
     "Candidate",
     "EvolutionConfig",
     "EvolutionEngine",

@@ -80,6 +80,17 @@ class EstimatorConfig:
     backend: Optional[str] = field(
         default_factory=lambda: os.environ.get("REPRO_BACKEND") or None
     )
+    # -- shard resilience policy (see repro.execution.resilience) -------------
+    #: per-shard wall-clock deadline; a shard still running past it is
+    #: declared hung, its worker pool is killed, and the shard is retried.
+    #: ``None`` disables the watchdog (futures are awaited unbounded).
+    shard_deadline_seconds: Optional[float] = 600.0
+    #: retry rounds for infrastructure-failed shard tasks before the
+    #: generation degrades to the in-process path
+    shard_retries: int = 2
+    #: base / cap of the capped exponential backoff between retry rounds
+    shard_backoff_seconds: float = 0.05
+    shard_backoff_max_seconds: float = 2.0
 
     def __post_init__(self) -> None:
         valid = ("auto", "noise_sim", "success_rate", "noise_free", "real_qc")

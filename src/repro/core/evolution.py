@@ -11,7 +11,7 @@ qubits exactly as described in Section III-C.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,6 +19,9 @@ from ..devices.library import Device
 from ..utils.rng import ensure_rng
 from .design_space import DesignSpace
 from .subcircuit import SubCircuitConfig
+
+if TYPE_CHECKING:
+    from .checkpoint import SearchCheckpointer
 
 __all__ = ["Candidate", "EvolutionConfig", "EvolutionResult", "EvolutionEngine",
            "PopulationScoreFn", "random_search"]
@@ -48,6 +51,9 @@ class EvolutionConfig:
     seed: int = 0
     search_mapping: bool = True       # co-search qubit mapping with the circuit
     search_circuit: bool = True       # disable to search the mapping only
+    #: persist search state here after every generation and resume from it
+    #: when the file exists (see :mod:`repro.core.checkpoint`); None disables
+    checkpoint_path: Optional[str] = None
 
 
 @dataclass
@@ -112,6 +118,14 @@ class EvolutionEngine:
 
     def random_candidate(self) -> Candidate:
         return Candidate(self.random_config(), self.random_mapping())
+
+    def candidate_from_gene(self, gene: Sequence[int]) -> Candidate:
+        """Rebuild a candidate from its serialized gene (checkpoint format)."""
+        circuit_len = 1 + self.space.max_blocks * self.space.n_layers
+        config = SubCircuitConfig.from_gene(
+            self.space, self.n_qubits, list(gene[:circuit_len])
+        )
+        return Candidate(config, tuple(int(q) for q in gene[circuit_len:]))
 
     # -- genetic operators -----------------------------------------------------------
 
@@ -180,6 +194,7 @@ class EvolutionEngine:
         score_fn: Optional[ScoreFn] = None,
         verbose: bool = False,
         population_score_fn: Optional[PopulationScoreFn] = None,
+        checkpointer: Optional["SearchCheckpointer"] = None,
     ) -> EvolutionResult:
         """Run the evolutionary search (scores are lower-is-better).
 
@@ -188,6 +203,12 @@ class EvolutionEngine:
         ``population_score_fn`` receives every not-yet-cached candidate of a
         generation at once — the hook the batched
         :class:`~repro.execution.ExecutionEngine` plugs into.
+
+        ``checkpointer`` (see :mod:`repro.core.checkpoint`) persists the
+        search state after every completed generation and, when its file
+        already holds a checkpoint, resumes from it bitwise — same
+        populations, same rng stream, same history tail as the
+        uninterrupted run.
         """
         if (score_fn is None) == (population_score_fn is None):
             raise ValueError(
@@ -199,8 +220,24 @@ class EvolutionEngine:
         evaluated = 0
         best: Optional[Candidate] = None
         best_score = float("inf")
+        start_iteration = 0
 
-        for iteration in range(self.config.iterations):
+        if checkpointer is not None:
+            state = checkpointer.load()
+            if state is not None:
+                start_iteration = int(state["iteration"])
+                self.rng.bit_generator.state = state["rng_state"]
+                population = [
+                    self.candidate_from_gene(gene) for gene in state["population"]
+                ]
+                cache = {tuple(gene): score for gene, score in state["cache"]}
+                history = list(state["history"])
+                evaluated = int(state["evaluated"])
+                best_score = float(state["best_score"])
+                if state["best"] is not None:
+                    best = self.candidate_from_gene(state["best"])
+
+        for iteration in range(start_iteration, self.config.iterations):
             if population_score_fn is not None:
                 pending: List[Candidate] = []
                 seen: set = set()
@@ -255,6 +292,21 @@ class EvolutionEngine:
                 for _ in range(self.config.crossover_size)
             ]
             population = parents + mutations + crossovers
+            if checkpointer is not None:
+                checkpointer.save(
+                    {
+                        "iteration": iteration + 1,
+                        "rng_state": self.rng.bit_generator.state,
+                        "population": [c.gene() for c in population],
+                        "cache": [
+                            (list(gene), score) for gene, score in cache.items()
+                        ],
+                        "history": list(history),
+                        "evaluated": evaluated,
+                        "best": best.gene() if best is not None else None,
+                        "best_score": best_score,
+                    }
+                )
 
         assert best is not None
         return EvolutionResult(

@@ -23,6 +23,7 @@ from ..qml.training import TrainConfig, evaluate_noise_free
 from ..utils.rng import ensure_rng
 from ..vqe.molecules import Molecule
 from ..vqe.vqe import VQEConfig, VQEModel
+from .checkpoint import SearchCheckpointer
 from .design_space import DesignSpace
 from .estimator import EstimatorConfig, PerformanceEstimator
 from .evolution import EvolutionConfig, EvolutionEngine, EvolutionResult
@@ -45,6 +46,19 @@ __all__ = [
     "VQEPipelineResult",
     "QuantumNASVQEPipeline",
 ]
+
+
+def _search_checkpointer(config, estimator) -> Optional[SearchCheckpointer]:
+    """The co-search checkpointer named by ``evolution.checkpoint_path``.
+
+    Ties the checkpoint to the pipeline's shared estimator, so merged
+    transpile/parametric cache entries persist alongside the search state
+    and a resumed search starts compilation-warm.
+    """
+    path = getattr(config.evolution, "checkpoint_path", None)
+    if not path:
+        return None
+    return SearchCheckpointer(path, estimator=estimator)
 
 
 # ---------------------------------------------------------------------------
@@ -146,7 +160,8 @@ class QuantumNASQMLPipeline:
             return engine.search(
                 population_score_fn=execution.qml_population_scorer(
                     self.dataset, self.n_classes
-                )
+                ),
+                checkpointer=_search_checkpointer(self.config, self.estimator),
             )
 
     def train_best(self, sub_config: SubCircuitConfig):
@@ -303,7 +318,8 @@ class QuantumNASVQEPipeline:
         # shared estimator before the context manager closes the pool
         with self.estimator.population_engine(self.supercircuit) as execution:
             return engine.search(
-                population_score_fn=execution.vqe_population_scorer(self.molecule)
+                population_score_fn=execution.vqe_population_scorer(self.molecule),
+                checkpointer=_search_checkpointer(self.config, self.estimator),
             )
 
     def measure(

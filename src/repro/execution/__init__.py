@@ -61,8 +61,17 @@ partitioned across a persistent ``ProcessPoolExecutor``, worker-local caches
 stay warm across generations, and every worker's new cache entries and
 counter deltas are merged back into the parent estimator's caches after each
 generation.  The scheduler's determinism contract (see its module docstring)
-keeps scores bit-for-bit independent of the worker count, and any worker
-fault degrades to the in-process path with a warning — never a wrong score.
+keeps scores bit-for-bit independent of the worker count.
+
+**Resilience & fault injection.**  Shard failures are classified
+(:mod:`repro.execution.resilience`): infrastructure faults (broken pools,
+watchdog-detected deadline timeouts) are retried with capped backoff onto
+surviving workers — healthy shards' results are kept — while worker task
+errors are confirmed once in-process and re-raised if they reproduce.
+Whole-generation degradation is the last resort only.  A deterministic
+fault-injection harness (:mod:`repro.execution.faults`, ``REPRO_FAULTS``)
+drives the chaos tests that prove a fault can delay a generation but never
+change a score.  See ``src/repro/execution/README.md``.
 
 ``EstimatorConfig(engine="sequential")`` routes every candidate through the
 original per-candidate estimator calls, bit-for-bit identical to the seed
@@ -77,6 +86,13 @@ from .cache import (
     TranspileCacheStats,
 )
 from .engine import ExecutionEngine, ExecutionStats
+from .faults import FaultInjector, FaultPlan, FaultSpec, InjectedFault
+from .resilience import (
+    RetriesExhausted,
+    RetryPolicy,
+    ShardDeadlineExceeded,
+    classify_failure,
+)
 from .scheduler import SchedulerStats, ShardedExecutionEngine
 from .stats import MergeableStats
 
@@ -98,7 +114,15 @@ __all__ = [
     "TranspileCacheStats",
     "ExecutionEngine",
     "ExecutionStats",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "MergeableStats",
+    "RetriesExhausted",
+    "RetryPolicy",
     "SchedulerStats",
+    "ShardDeadlineExceeded",
     "ShardedExecutionEngine",
+    "classify_failure",
 ]

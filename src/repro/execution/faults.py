@@ -1,0 +1,272 @@
+"""Deterministic fault injection for the sharded runtimes.
+
+The sharded engines promise that worker faults can delay a generation but
+never change a score.  Proving that needs a way to *cause* faults — in
+chosen shards, at chosen points of the worker lifecycle, in chosen
+generations — that is reproducible run-to-run.  This module is that seam:
+a :class:`FaultPlan` is a declarative list of :class:`FaultSpec` entries,
+each a pure predicate over ``(engine, point, shard, generation, attempt)``
+plus an action, and a :class:`FaultInjector` ships inside every shard task
+so the worker side can ask "does anything fire here?" at the four
+instrumented points:
+
+``pool_spawn``
+    inside the worker-pool initializer, before the worker estimator/engine
+    stack is built;
+``task_receive``
+    at task entry, before any evaluation;
+``mid_evaluation``
+    between evaluation units (after the first structure group / weight
+    row), so partially completed work is discarded;
+``result_send``
+    after evaluation, before the result payload is returned — the whole
+    shard's work is lost in flight.
+
+Four fault kinds cover the failure taxonomy the resilience layer
+classifies (:mod:`repro.execution.resilience`):
+
+``crash``
+    the worker process exits immediately (``os._exit``) — the parent sees
+    a broken pool, an *infrastructure* fault;
+``hang``
+    the worker sleeps far past any deadline — detected only by the
+    parent's watchdog, also infrastructure;
+``slow``
+    the worker sleeps ``seconds`` and then completes normally — exercises
+    deadline headroom without failing;
+``flaky``
+    the worker raises :class:`InjectedFault` — a *task error* that does
+    not reproduce when the parent re-runs the unit in-process, the
+    transient-error recovery path.
+
+Determinism: every decision is a pure function of the spec list and the
+``(engine, point, shard, generation, attempt)`` coordinates the schedulers
+stamp into each task, so a faulty run is exactly reproducible and the
+chaos tests can assert bitwise score equality against fault-free runs.
+
+``REPRO_FAULTS`` grammar (parsed by :meth:`FaultPlan.parse`)::
+
+    REPRO_FAULTS="crash@task_receive[shard=0,gen=1];slow@mid_evaluation[seconds=0.1]"
+
+Specs are separated by ``;``.  Each is ``kind@point`` plus optional
+``[key=value,...]`` qualifiers: ``shard`` (int or ``*``), ``gen`` (int or
+``*``), ``engine`` (``execution`` | ``gradient`` | ``*``), ``times`` (the
+fault fires while ``attempt < times``; default 1, so a retried unit
+succeeds), ``seconds`` (sleep length for slow/hang).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_POINTS",
+    "FAULT_ENGINES",
+    "InjectedFault",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+FAULT_KINDS = ("crash", "hang", "slow", "flaky")
+FAULT_POINTS = ("pool_spawn", "task_receive", "mid_evaluation", "result_send")
+FAULT_ENGINES = ("execution", "gradient", "*")
+
+#: how long a ``hang`` sleeps when no ``seconds`` qualifier is given — far
+#: past any sane deadline, bounded so an unwatched test cannot block forever
+DEFAULT_HANG_SECONDS = 600.0
+DEFAULT_SLOW_SECONDS = 0.25
+
+ENV_VAR = "REPRO_FAULTS"
+
+
+class InjectedFault(RuntimeError):
+    """The transient task error raised by ``flaky`` fault specs.
+
+    Raised worker-side only: when the parent re-runs the failed unit
+    in-process as a confirmation, the injector is not consulted, so the
+    error does not reproduce — the signature of a transient fault.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: a match predicate plus an action."""
+
+    kind: str
+    point: str
+    shard: Optional[int] = None        # None = every shard
+    generation: Optional[int] = None   # None = every generation / step
+    engine: str = "*"                  # execution | gradient | *
+    times: int = 1                     # fires while attempt < times
+    seconds: Optional[float] = None    # sleep length for slow / hang
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.point not in FAULT_POINTS:
+            raise ValueError(f"fault point must be one of {FAULT_POINTS}, got {self.point!r}")
+        if self.engine not in FAULT_ENGINES:
+            raise ValueError(f"fault engine must be one of {FAULT_ENGINES}, got {self.engine!r}")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+
+    def matches(
+        self, engine: str, point: str, shard: int, generation: int, attempt: int
+    ) -> bool:
+        if self.point != point:
+            return False
+        if self.engine != "*" and self.engine != engine:
+            return False
+        if self.shard is not None and self.shard != shard:
+            return False
+        if self.generation is not None and self.generation != generation:
+            return False
+        return attempt < self.times
+
+    def describe(self) -> str:
+        parts = []
+        if self.shard is not None:
+            parts.append(f"shard={self.shard}")
+        if self.generation is not None:
+            parts.append(f"gen={self.generation}")
+        if self.engine != "*":
+            parts.append(f"engine={self.engine}")
+        if self.times != 1:
+            parts.append(f"times={self.times}")
+        if self.seconds is not None:
+            parts.append(f"seconds={self.seconds:g}")
+        suffix = f"[{','.join(parts)}]" if parts else ""
+        return f"{self.kind}@{self.point}{suffix}"
+
+
+def _parse_spec(text: str) -> FaultSpec:
+    spec = text.strip()
+    qualifiers = {}
+    if "[" in spec:
+        head, _, rest = spec.partition("[")
+        body = rest.rstrip()
+        if not body.endswith("]"):
+            raise ValueError(f"unterminated qualifier list in fault spec {text!r}")
+        for item in body[:-1].split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(f"qualifier {item!r} in fault spec {text!r} needs key=value")
+            key, _, value = item.partition("=")
+            qualifiers[key.strip()] = value.strip()
+        spec = head.strip()
+    if "@" not in spec:
+        raise ValueError(f"fault spec {text!r} must look like kind@point[...]")
+    kind, _, point = spec.partition("@")
+
+    def int_or_any(value: str, name: str) -> Optional[int]:
+        if value == "*":
+            return None
+        try:
+            return int(value)
+        except ValueError:
+            raise ValueError(f"{name} must be an int or '*' in fault spec {text!r}") from None
+
+    known = {"shard", "gen", "engine", "times", "seconds"}
+    unknown = set(qualifiers) - known
+    if unknown:
+        raise ValueError(
+            f"unknown qualifier(s) {sorted(unknown)} in fault spec {text!r}; "
+            f"known: {sorted(known)}"
+        )
+    return FaultSpec(
+        kind=kind.strip(),
+        point=point.strip(),
+        shard=int_or_any(qualifiers["shard"], "shard") if "shard" in qualifiers else None,
+        generation=int_or_any(qualifiers["gen"], "gen") if "gen" in qualifiers else None,
+        engine=qualifiers.get("engine", "*"),
+        times=int(qualifiers["times"]) if "times" in qualifiers else 1,
+        seconds=float(qualifiers["seconds"]) if "seconds" in qualifiers else None,
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable list of fault specs."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @classmethod
+    def parse(cls, text: Optional[str]) -> "FaultPlan":
+        """Parse a ``REPRO_FAULTS``-style string (empty/None → empty plan)."""
+        if not text or not text.strip():
+            return cls()
+        specs = tuple(
+            _parse_spec(part) for part in text.split(";") if part.strip()
+        )
+        return cls(specs)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan":
+        """The plan named by the ``REPRO_FAULTS`` environment variable."""
+        env = os.environ if environ is None else environ
+        return cls.parse(env.get(ENV_VAR))
+
+    def scoped(self, engine: str) -> "FaultPlan":
+        """The subset of specs that can ever fire for ``engine``."""
+        return FaultPlan(
+            tuple(s for s in self.specs if s.engine in ("*", engine))
+        )
+
+    def injector(self, engine: str) -> Optional["FaultInjector"]:
+        """A picklable injector for ``engine``, or None when nothing applies."""
+        scoped = self.scoped(engine)
+        if not scoped:
+            return None
+        return FaultInjector(plan=scoped, engine=engine)
+
+    def describe(self) -> str:
+        return ";".join(spec.describe() for spec in self.specs)
+
+
+# repro: pickle-boundary
+@dataclass(frozen=True)
+class FaultInjector:
+    """The worker-side trigger, shipped inside every shard task.
+
+    ``fire`` is called at each instrumented point with the task's stamped
+    coordinates; matching specs act in plan order.  ``crash`` never
+    returns, ``flaky`` raises, ``hang``/``slow`` sleep and fall through —
+    so one call can both slow a shard and then crash it if the plan says
+    so.
+    """
+
+    plan: FaultPlan
+    engine: str
+
+    def fire(self, point: str, shard: int, generation: int, attempt: int) -> None:
+        for spec in self.plan.specs:
+            if not spec.matches(self.engine, point, shard, generation, attempt):
+                continue
+            where = (
+                f"{spec.kind}@{point} shard={shard} gen={generation} "
+                f"attempt={attempt} ({self.engine})"
+            )
+            if spec.kind == "crash":
+                # a hard process death, not an exception: the parent must
+                # observe a broken pool, exactly like a real worker crash
+                os._exit(1)
+            elif spec.kind == "hang":
+                time.sleep(
+                    DEFAULT_HANG_SECONDS if spec.seconds is None else spec.seconds
+                )
+            elif spec.kind == "slow":
+                time.sleep(
+                    DEFAULT_SLOW_SECONDS if spec.seconds is None else spec.seconds
+                )
+            elif spec.kind == "flaky":
+                raise InjectedFault(f"injected transient fault: {where}")

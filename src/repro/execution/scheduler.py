@@ -24,42 +24,61 @@ that hold:
    so the batched density-matrix stacks, transpile requests and cache-state
    evolution a group sees are identical no matter where (or alongside what)
    it runs.  Changing the worker count only moves groups between processes;
-   it never changes the numbers any group produces.
+   it never changes the numbers any group produces.  The same hermeticity is
+   what makes *retrying* a failed shard on a different pool bitwise safe.
 2. **Shard assignment is a pure function of the population.**  Group keys are
    ordered stably (sorted genome genes) and assigned greedily
    (largest-candidate-count first, key as tie-break) to the least-loaded
    shard — never by pool state, population order or prior generations.
 3. **Per-shard seeds are pinned.**  Every shard task re-seeds its worker's
    estimator/backend rng streams from ``stable_seed((seed, "shard", i))``.
-   No sharded mode consumes these streams today (``real_qc`` — the only
-   rng-consuming estimator mode — always takes the sequential parent path),
-   so this is defensive: a future drawing path inherits a shard-stable
-   stream instead of one that depends on scheduling history.
+   The seed travels *with the task*, so a task retried on a surviving pool
+   samples exactly what its home pool would have.  No sharded mode consumes
+   these streams today (``real_qc`` — the only rng-consuming estimator mode
+   — always takes the sequential parent path), so this is defensive.
 
-Graceful degradation: any worker failure (including a broken pool) emits a
-``RuntimeWarning`` and re-evaluates the whole population in-process —
-group-at-a-time, exactly like rule 1 — so a fault can delay a generation but
-never change a score.  Cache entries already returned by healthy shards are
-adopted first, so the retry is warm.
+Resilience (see :mod:`repro.execution.resilience`)
+--------------------------------------------------
+Shard failures are classified.  *Infrastructure* faults — a broken pool, a
+worker crash, a deadline timeout flagged by the watchdog — are retried with
+capped exponential backoff, rebalancing the failed shard's groups onto
+surviving workers while every healthy shard's scores are kept; killed pools
+respawn in the background so later generations return to full width.  *Task
+errors* (the evaluation itself raised) are confirmed by one in-process
+re-run of the shard's groups: a transient error recovers with a warning, a
+reproducing error is re-raised as the real bug it is.  Whole-generation
+in-process degradation (``degraded_generations``) remains only as the last
+resort when retries are exhausted — and even then cache entries already
+returned by healthy shards are adopted first, so the retry is warm, and a
+fault can delay a generation but never change a score.
+
+Fault injection for all of the above is first-class and deterministic:
+``REPRO_FAULTS`` (see :mod:`repro.execution.faults`) injects crash / hang /
+slow / flaky behavior at named worker lifecycle points in chosen shards and
+generations.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
 import time
 import warnings
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..utils.rng import ensure_rng
 from .cache import ParametricCacheStats, TranspileCacheStats, stable_seed
 from .engine import ExecutionEngine, ExecutionStats
+from .faults import FaultInjector, FaultPlan
+from .resilience import (
+    ResilientDispatcher,
+    RetriesExhausted,
+    RetryPolicy,
+    WorkerPoolGroup,
+)
 from .stats import MergeableStats
 
 __all__ = ["SchedulerStats", "ShardedExecutionEngine"]
@@ -72,9 +91,24 @@ class SchedulerStats(MergeableStats):
     generations: int = 0
     sharded_generations: int = 0
     in_process_generations: int = 0
+    #: whole-generation in-process fallbacks only — the genuine last resort
     degraded_generations: int = 0
     shards_dispatched: int = 0
     worker_failures: int = 0
+    #: infrastructure-failed shard tasks re-dispatched (retry rounds)
+    retried_shards: int = 0
+    #: retried tasks that ran on a pool other than their home pool
+    rebalanced_shards: int = 0
+    #: dead pools brought back in the background after a generation
+    respawned_pools: int = 0
+    #: shards the watchdog declared hung past their deadline
+    deadline_timeouts: int = 0
+    #: wall time the watchdog spent gathering deadline-bounded rounds
+    watchdog_wait_seconds: float = 0.0
+    #: worker task errors re-run once in-process for confirmation
+    task_error_confirmations: int = 0
+    #: confirmations that succeeded — transient faults recovered in place
+    flaky_recoveries: int = 0
     adopted_bound_entries: int = 0
     adopted_structures: int = 0
     adopted_parametric_bound: int = 0
@@ -110,7 +144,12 @@ class _ShardTask:
     #: ``(group key, population indices, candidates)`` per structure group
     groups: List[Tuple[Tuple, List[int], list]]
     payload: dict
-    fail: bool = False          # fault-injection test seam
+    #: 0-based index of the evaluate call, for deterministic fault scoping
+    generation: int = 0
+    #: dispatch attempt of this task (0 = first dispatch, +1 per retry)
+    attempt: int = 0
+    #: deterministic fault-injection trigger (None outside chaos runs)
+    injector: Optional[FaultInjector] = None
 
 
 # repro: pickle-boundary
@@ -130,15 +169,7 @@ class _ShardResult:
     bound_entries: list
     parametric_entries: dict
     elapsed_seconds: float
-
-
-class _ShardFailure(Exception):
-    """Raised in the parent when any shard of a generation failed."""
-
-    def __init__(self, results: List[_ShardResult], cause: BaseException) -> None:
-        super().__init__(str(cause))
-        self.results = results
-        self.cause = cause
+    attempt: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -163,11 +194,14 @@ class _WorkerContext:
         self.exported_structures: set = set()
         self.exported_parametric_bound: set = set()
 
-    def run(self, task: _ShardTask) -> _ShardResult:
-        if task.fail:
-            raise RuntimeError(
-                f"injected worker fault in shard {task.shard_index} (test seam)"
+    def _fire(self, task: _ShardTask, point: str) -> None:
+        if task.injector is not None:
+            task.injector.fire(
+                point, task.shard_index, task.generation, task.attempt
             )
+
+    def run(self, task: _ShardTask) -> _ShardResult:
+        self._fire(task, "task_receive")
         start = time.perf_counter()
         if not np.array_equal(self.supercircuit.parameters, task.parameters):
             self.supercircuit.parameters = np.array(task.parameters, dtype=float)
@@ -183,7 +217,11 @@ class _WorkerContext:
 
         scores: List[Tuple[int, float]] = []
         n_candidates = 0
-        for _key, indices, candidates in task.groups:
+        for group_index, (_key, indices, candidates) in enumerate(task.groups):
+            if group_index == 1:
+                # after the first unit of work, so a crash/hang here
+                # discards partially completed evaluation
+                self._fire(task, "mid_evaluation")
             n_candidates += len(candidates)
             if task.payload["kind"] == "qml":
                 group_scores = self.engine.evaluate_qml_population(
@@ -197,6 +235,8 @@ class _WorkerContext:
                 (int(index), float(score))
                 for index, score in zip(indices, group_scores)
             )
+        if len(task.groups) == 1:
+            self._fire(task, "mid_evaluation")
 
         # populations/candidates are generation-level counters owned by the
         # parent — report them as zero deltas so merging cannot double-count.
@@ -215,6 +255,7 @@ class _WorkerContext:
         self.exported_structures, self.exported_parametric_bound = (
             estimator.parametric_transpile_cache.export_keys()
         )
+        self._fire(task, "result_send")
         return _ShardResult(
             shard_index=task.shard_index,
             n_groups=len(task.groups),
@@ -231,13 +272,17 @@ class _WorkerContext:
             parametric_entries=parametric_entries,
             # repro: ignore[det-monotonic-flow] -- per-shard timing report only
             elapsed_seconds=time.perf_counter() - start,
+            attempt=task.attempt,
         )
 
 
 _WORKER_CONTEXT: Optional[_WorkerContext] = None
 
 
-def _init_worker(device, config, supercircuit) -> None:
+def _init_worker(device, config, supercircuit, spawn_probe=None) -> None:
+    if spawn_probe is not None:
+        injector, shard_index, generation, attempt = spawn_probe
+        injector.fire("pool_spawn", shard_index, generation, attempt)
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = _WorkerContext(device, config, supercircuit)
 
@@ -249,7 +294,7 @@ def _run_shard(task: _ShardTask) -> _ShardResult:
 
 
 def _ping(value: int) -> int:
-    """No-op task used by :meth:`ShardedExecutionEngine.warm_up`."""
+    """No-op task used by warm-up pings and background pool respawns."""
     return value
 
 
@@ -265,13 +310,19 @@ class ShardedExecutionEngine(ExecutionEngine):
     sequential/real_qc fallbacks and ``noisy_expectations`` are inherited,
     only whole-population evaluation is sharded.  Construction defaults to
     :class:`~repro.core.estimator.EstimatorConfig` fields ``workers`` and
-    ``shard_min_group_size``; ``workers <= 1`` never creates a pool.
+    ``shard_min_group_size`` (plus the ``shard_deadline_seconds`` /
+    ``shard_retries`` / ``shard_backoff_*`` resilience knobs);
+    ``workers <= 1`` never creates a pool.
 
     Simulation-backend dispatch (:mod:`repro.backends`) composes with
     sharding without any payload changes: backend selection is a pure
     function of the estimator config that ships to workers anyway, so every
     worker's engine rebuilds an identical dispatcher and ``_ShardTask``
     carries no backend state.
+
+    ``fault_plan`` (default: parsed from ``REPRO_FAULTS``) drives the
+    deterministic chaos harness; assign a :class:`~repro.execution.faults.
+    FaultPlan` before evaluating to inject faults programmatically.
 
     Call :meth:`close` (pipelines do, via the context-manager protocol) to
     shut the worker pool down.
@@ -283,6 +334,7 @@ class ShardedExecutionEngine(ExecutionEngine):
         supercircuit,
         workers: Optional[int] = None,
         shard_min_group_size: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
         **engine_kwargs,
     ) -> None:
         super().__init__(estimator, supercircuit, **engine_kwargs)
@@ -300,18 +352,39 @@ class ShardedExecutionEngine(ExecutionEngine):
         )
         self.scheduler_stats = SchedulerStats()
         self.last_shard_reports: List[dict] = []
+        self.retry_policy = RetryPolicy.from_config(config)
+        self.fault_plan = (
+            FaultPlan.from_env() if fault_plan is None else fault_plan
+        )
+        self._current_generation = 0
         # One single-process pool per shard slot, so shard i always runs in
         # the same worker process: its caches stay warm across generations
         # (ProcessPoolExecutor's shared task queue would hand a shard to
         # whichever process grabbed it first, leaving warm caches behind).
-        self._executors: List[Optional[ProcessPoolExecutor]] = [None] * max(
-            0, self.workers
+        self._pools = WorkerPoolGroup(
+            max(0, self.workers), _init_worker, self._spawn_initargs
         )
-        #: shard indices that raise instead of evaluating — fault-injection
-        #: seam for the degradation tests; never set in production code
-        self._fault_shards: frozenset = frozenset()
+
+    def _spawn_initargs(self, shard_index: int, spawn_attempt: int) -> tuple:
+        injector = self.fault_plan.injector("execution")
+        probe = (
+            (injector, shard_index, self._current_generation, spawn_attempt)
+            if injector is not None
+            else None
+        )
+        return (
+            self.estimator.device,
+            self.estimator.config,
+            self.supercircuit,
+            probe,
+        )
 
     # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def _executors(self):
+        """The per-shard pool slots (None = not spawned / killed)."""
+        return self._pools.slots
 
     def warm_up(self) -> None:
         """Start the worker pool ahead of time.
@@ -324,7 +397,7 @@ class ShardedExecutionEngine(ExecutionEngine):
             # submit every ping before gathering so the worker startups (and
             # their estimator construction) overlap instead of serializing
             futures = [
-                self._ensure_executor(shard_index).submit(_ping, shard_index)
+                self._pools.ensure(shard_index).submit(_ping, shard_index)
                 for shard_index in range(self.workers)
             ]
             for future in futures:
@@ -335,18 +408,13 @@ class ShardedExecutionEngine(ExecutionEngine):
 
         Safe to call repeatedly, from ``__exit__`` (engines are context
         managers) and from ``__del__`` — including on a partially
-        constructed instance whose ``__init__`` raised before the executor
-        slots existed — so interrupted benchmarks and aborted searches never
+        constructed instance whose ``__init__`` raised before the pool
+        group existed — so interrupted benchmarks and aborted searches never
         leak worker processes.
         """
-        executors = getattr(self, "_executors", None)
-        if not executors:
-            super().close()
-            return
-        for shard_index, executor in enumerate(executors):
-            if executor is not None:
-                executor.shutdown(wait=True, cancel_futures=True)
-                executors[shard_index] = None
+        pools = getattr(self, "_pools", None)
+        if pools is not None:
+            pools.close()
         super().close()
 
     def __del__(self) -> None:  # best-effort; close()/__exit__ is the real API
@@ -354,28 +422,6 @@ class ShardedExecutionEngine(ExecutionEngine):
             self.close()
         except Exception:
             pass
-
-    def _ensure_executor(self, shard_index: int) -> ProcessPoolExecutor:
-        if self._executors[shard_index] is None:
-            # fork (where available) shares the parent's loaded modules and
-            # the initargs below copy-on-write instead of re-importing numpy
-            # and re-pickling the supercircuit per worker
-            method = (
-                "fork"
-                if "fork" in multiprocessing.get_all_start_methods()
-                else None
-            )
-            self._executors[shard_index] = ProcessPoolExecutor(
-                max_workers=1,
-                mp_context=multiprocessing.get_context(method),
-                initializer=_init_worker,
-                initargs=(
-                    self.estimator.device,
-                    self.estimator.config,
-                    self.supercircuit,
-                ),
-            )
-        return self._executors[shard_index]
 
     # -- population evaluation ----------------------------------------------
 
@@ -431,18 +477,26 @@ class ShardedExecutionEngine(ExecutionEngine):
     ) -> List[float]:
         groups = self._plan_groups(candidates)
         shards = self._plan_shards(groups)
+        generation = self.scheduler_stats.generations
         self.scheduler_stats.generations += 1
+        self._current_generation = generation
         if len(shards) <= 1:
             self.scheduler_stats.in_process_generations += 1
             self.last_shard_reports = []
             return self._evaluate_in_process(candidates, groups, in_process_fn)
+        populations_before = self.stats.populations
+        candidates_before = self.stats.candidates
         try:
-            results = self._run_sharded(candidates, shards, payload)
-        except Exception as exc:  # noqa: BLE001 — degrade on any fault
+            results, confirmed = self._run_resilient(
+                candidates, shards, payload, generation, in_process_fn
+            )
+        except RetriesExhausted as exc:
             self._degrade(exc)
             return self._evaluate_in_process(candidates, groups, in_process_fn)
         self.scheduler_stats.sharded_generations += 1
-        return self._merge_results(candidates, results)
+        return self._merge_generation(
+            candidates, results, confirmed, populations_before, candidates_before
+        )
 
     def _plan_groups(self, candidates: list) -> "OrderedDict[Tuple, List[int]]":
         """Population indices per structure group (genome gene), stably keyed."""
@@ -480,17 +534,27 @@ class ShardedExecutionEngine(ExecutionEngine):
             shard.sort(key=lambda item: item[0])
         return shards
 
-    def _run_sharded(
+    def _run_resilient(
         self,
         candidates: list,
         shards: List[List[Tuple[Tuple, List[int]]]],
         payload: dict,
-    ) -> List[_ShardResult]:
+        generation: int,
+        in_process_fn: Callable[[list], List[float]],
+    ) -> Tuple[Dict[int, _ShardResult], Dict[int, float]]:
+        """Dispatch one generation under the retry/deadline policy.
+
+        Returns ``(shard results, confirmed scores)`` where confirmed scores
+        are population-index→score pairs recovered from worker task errors
+        by the one-shot in-process confirmation run.  A task error that
+        reproduces in-process is re-raised: it is a real bug, not a fault.
+        """
         parameters = np.array(self.supercircuit.parameters, dtype=float)
         seed = getattr(self.estimator.config, "seed", 0)
-        futures = []
+        injector = self.fault_plan.injector("execution")
+        tasks: Dict[int, _ShardTask] = {}
         for shard_index, shard in enumerate(shards):
-            task = _ShardTask(
+            tasks[shard_index] = _ShardTask(
                 shard_index=shard_index,
                 seed=stable_seed((seed, "shard", shard_index)),
                 parameters=parameters,
@@ -499,36 +563,65 @@ class ShardedExecutionEngine(ExecutionEngine):
                     for key, indices in shard
                 ],
                 payload=payload,
-                fail=shard_index in self._fault_shards,
+                generation=generation,
+                injector=injector,
             )
-            futures.append(self._ensure_executor(shard_index).submit(_run_shard, task))
-        self.scheduler_stats.shards_dispatched += len(futures)
-        results: List[_ShardResult] = []
-        failures: List[BaseException] = []
-        for future in futures:
+        self.scheduler_stats.shards_dispatched += len(tasks)
+        stats = self.scheduler_stats
+        retried_before = stats.retried_shards
+        dispatcher = ResilientDispatcher(
+            self._pools, self.retry_policy, _run_shard, _ping, stats
+        )
+        results, task_errors = dispatcher.run(tasks)
+
+        confirmed: Dict[int, float] = {}
+        for shard_index in sorted(task_errors):
+            cause = task_errors[shard_index]
+            stats.task_error_confirmations += 1
             try:
-                results.append(future.result())
-            except Exception as exc:  # noqa: BLE001 — collected, then degrade
-                failures.append(exc)
-        if failures:
-            self.scheduler_stats.worker_failures += len(failures)
-            raise _ShardFailure(results, failures[0])
-        return results
+                for _key, indices, subset in tasks[shard_index].groups:
+                    for index, score in zip(indices, in_process_fn(subset)):
+                        confirmed[int(index)] = float(score)
+            except Exception as confirmed_exc:
+                # the error reproduces without the worker machinery: a
+                # deterministic task bug — surface it, never retry it away
+                raise confirmed_exc from cause
+            stats.flaky_recoveries += 1
+        recovered = stats.retried_shards - retried_before
+        if recovered or task_errors:
+            warnings.warn(
+                f"sharded generation recovered from worker faults "
+                f"(retried_shards={recovered}, "
+                f"confirmed_task_errors={len(task_errors)}); scores unchanged",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        return results, confirmed
 
     # -- merging -------------------------------------------------------------
 
-    def _merge_results(
-        self, candidates: list, results: List[_ShardResult]
+    def _merge_generation(
+        self,
+        candidates: list,
+        results: Dict[int, _ShardResult],
+        confirmed: Dict[int, float],
+        populations_before: int,
+        candidates_before: int,
     ) -> List[float]:
         scores = [0.0] * len(candidates)
-        self.stats.populations += 1
-        self.stats.candidates += len(candidates)
         reports: List[dict] = []
-        for result in sorted(results, key=lambda r: r.shard_index):
+        for shard_index in sorted(results):
+            result = results[shard_index]
             for index, score in result.scores:
                 scores[index] = score
             self._merge_shard(result, reports)
+        for index in sorted(confirmed):
+            scores[index] = confirmed[index]
         self.last_shard_reports = reports
+        # one generation counts exactly once, however the work was split
+        # between shard merges and in-process confirmation runs
+        self.stats.populations = populations_before + 1
+        self.stats.candidates = candidates_before + len(candidates)
         return scores
 
     def _merge_shard(self, result: _ShardResult, reports: List[dict]) -> None:
@@ -544,6 +637,7 @@ class ShardedExecutionEngine(ExecutionEngine):
                 "shard": result.shard_index,
                 "groups": result.n_groups,
                 "candidates": result.n_candidates,
+                "attempts": result.attempt + 1,
                 "elapsed_seconds": result.elapsed_seconds,
                 "transpile_seconds": (
                     result.bound_stats.compile_seconds
@@ -566,30 +660,23 @@ class ShardedExecutionEngine(ExecutionEngine):
 
     # -- degradation ----------------------------------------------------------
 
-    def _degrade(self, exc: Exception) -> None:
-        """Account a failed generation and prepare the in-process retry."""
-        if isinstance(exc, _ShardFailure):
-            # adopt what the healthy shards compiled so the retry is warm;
-            # their stats/scores are dropped — the retry recounts everything
-            for result in sorted(exc.results, key=lambda r: r.shard_index):
-                self._adopt_entries(result)
-            cause: BaseException = exc.cause
-        else:
-            cause = exc
-        if isinstance(cause, BrokenProcessPool):
-            # at least one pool is unusable; drop them all so the next
-            # generation restarts from fresh workers
-            try:
-                self.close()
-            except Exception:
-                self._executors = [None] * max(0, self.workers)
+    def _degrade(self, exc: RetriesExhausted) -> None:
+        """Account a failed generation and prepare the in-process retry.
+
+        Reached only when the resilient dispatcher exhausted every retry
+        round — the last resort, not the first response to a fault.
+        """
+        # adopt what the healthy shards compiled so the retry is warm;
+        # their stats/scores are dropped — the retry recounts everything
+        for shard_index in sorted(exc.results):
+            self._adopt_entries(exc.results[shard_index])
         self.scheduler_stats.degraded_generations += 1
         self.last_shard_reports = []
         warnings.warn(
-            "sharded population evaluation degraded to the in-process path: "
-            f"{cause!r}",
+            "sharded population evaluation degraded to the in-process path "
+            f"after exhausting shard retries: {exc.cause!r}",
             RuntimeWarning,
-            stacklevel=3,
+            stacklevel=4,
         )
 
     def _evaluate_in_process(

@@ -89,6 +89,11 @@ class GradientEngineConfig:
     backend: Optional[str] = field(
         default_factory=lambda: os.environ.get("REPRO_BACKEND") or None
     )
+    # -- shard resilience policy (see repro.execution.resilience) -------------
+    shard_deadline_seconds: Optional[float] = 600.0
+    shard_retries: int = 2
+    shard_backoff_seconds: float = 0.05
+    shard_backoff_max_seconds: float = 2.0
 
 
 @dataclass

@@ -20,7 +20,8 @@ that hold (mirroring the scheduler's contract):
    sequential-mode engine call — inside a worker, inside the parent when
    ``workers <= 1``, and inside the parent again when a step degrades — so
    the simulation batches, template binds and cache-state evolution a row
-   sees are identical no matter where it runs.
+   sees are identical no matter where it runs.  The same hermeticity makes
+   retrying a failed shard on a different pool bitwise safe.
 2. **Shard assignment is a pure function of the row count** —
    ``np.array_split`` over the global row indices, never pool state.
 3. **Randomness is pinned by content.**  Shot-job seed keys and measured
@@ -30,26 +31,38 @@ that hold (mirroring the scheduler's contract):
    template witness, so cold-compiled template variants match bit-for-bit
    across processes.
 
-Graceful degradation: any worker failure (including a broken pool) emits a
-``RuntimeWarning`` and re-evaluates the step's rows in-process — row-at-a-
-time, exactly like rule 1 — so a fault can delay a step but never change a
-gradient.  Cache entries already returned by healthy shards are adopted
-first, so the retry is warm.
+Resilience (see :mod:`repro.execution.resilience`)
+--------------------------------------------------
+Shard failures are classified and handled exactly like the execution
+scheduler's: infrastructure faults (broken pool, deadline timeout flagged
+by the watchdog) are retried with capped backoff, rebalancing the failed
+shard's rows onto surviving workers while healthy shards' values are kept,
+and killed pools respawn in the background.  Worker task errors get one
+in-process confirmation run of the failed rows — transient errors recover
+with a warning, reproducing errors re-raise.  Whole-step in-process
+degradation (``degraded_steps``) remains only as the last resort when
+retries are exhausted.  ``REPRO_FAULTS`` (:mod:`repro.execution.faults`)
+injects deterministic faults for all of the above; a fault can delay a
+step but never change a gradient.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..execution.cache import ParametricCacheStats, TranspileCacheStats
+from ..execution.faults import FaultInjector, FaultPlan
+from ..execution.resilience import (
+    ResilientDispatcher,
+    RetriesExhausted,
+    RetryPolicy,
+    WorkerPoolGroup,
+)
 from ..execution.stats import MergeableStats
 from ..utils.rng import stable_seed
 from .engine import BatchedGradientEngine, GradientEngineConfig
@@ -64,9 +77,24 @@ class GradientShardStats(MergeableStats):
     steps: int = 0
     sharded_steps: int = 0
     in_process_steps: int = 0
+    #: whole-step in-process fallbacks only — the genuine last resort
     degraded_steps: int = 0
     shards_dispatched: int = 0
     worker_failures: int = 0
+    #: infrastructure-failed shard tasks re-dispatched (retry rounds)
+    retried_shards: int = 0
+    #: retried tasks that ran on a pool other than their home pool
+    rebalanced_shards: int = 0
+    #: dead pools brought back in the background after a step
+    respawned_pools: int = 0
+    #: shards the watchdog declared hung past their deadline
+    deadline_timeouts: int = 0
+    #: wall time the watchdog spent gathering deadline-bounded rounds
+    watchdog_wait_seconds: float = 0.0
+    #: worker task errors re-run once in-process for confirmation
+    task_error_confirmations: int = 0
+    #: confirmations that succeeded — transient faults recovered in place
+    flaky_recoveries: int = 0
     adopted_bound_entries: int = 0
     adopted_structures: int = 0
     adopted_parametric_bound: int = 0
@@ -93,7 +121,12 @@ class _GradientShardTask:
     witness_weights: np.ndarray       # the step's center weight vector
     features: Optional[np.ndarray]    # QML feature batch (None for VQE)
     plan: Optional[object]            # VQE MeasurementPlan (None for QML)
-    fail: bool = False                # fault-injection test seam
+    #: 0-based step index, the ``gen`` coordinate for fault scoping
+    generation: int = 0
+    #: dispatch attempt of this task (0 = first dispatch, +1 per retry)
+    attempt: int = 0
+    #: deterministic fault-injection trigger (None outside chaos runs)
+    injector: Optional[FaultInjector] = None
 
 
 # repro: pickle-boundary
@@ -109,17 +142,7 @@ class _GradientShardResult:
     bound_entries: list
     parametric_entries: dict
     elapsed_seconds: float
-
-
-class _GradientShardFailure(Exception):
-    """Raised in the parent when any shard of a step failed."""
-
-    def __init__(
-        self, results: List[_GradientShardResult], cause: BaseException
-    ) -> None:
-        super().__init__(str(cause))
-        self.results = results
-        self.cause = cause
+    attempt: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -138,34 +161,49 @@ class _GradientWorkerContext:
         self.exported_structures: set = set()
         self.exported_parametric_bound: set = set()
 
-    def run(self, task: _GradientShardTask) -> _GradientShardResult:
-        if task.fail:
-            raise RuntimeError(
-                f"injected worker fault in gradient shard {task.shard_index} "
-                "(test seam)"
+    def _fire(self, task: _GradientShardTask, point: str) -> None:
+        if task.injector is not None:
+            task.injector.fire(
+                point, task.shard_index, task.generation, task.attempt
             )
+
+    def _rows(self, task: _GradientShardTask, rows, labels) -> np.ndarray:
+        if task.kind == "qml":
+            return self.engine.qml_expectations_rows(
+                task.circuit,
+                rows,
+                task.features,
+                row_labels=labels,
+                witness_weights=task.witness_weights,
+            )
+        return self.engine.vqe_energy_rows(
+            task.circuit,
+            task.plan,
+            rows,
+            row_labels=labels,
+            witness_weights=task.witness_weights,
+        )
+
+    def run(self, task: _GradientShardTask) -> _GradientShardResult:
+        self._fire(task, "task_receive")
         start = time.perf_counter()
         engine = self.engine
         engine_before = engine.stats.copy()
         bound_before = engine.transpile_cache.stats.copy()
         parametric_before = engine.parametric_transpile_cache.stats.copy()
 
-        if task.kind == "qml":
-            values = engine.qml_expectations_rows(
-                task.circuit,
-                task.rows,
-                task.features,
-                row_labels=task.row_labels,
-                witness_weights=task.witness_weights,
-            )
+        if task.injector is not None and len(task.rows) > 1:
+            # split after the first row so mid_evaluation faults discard
+            # partially completed work; rows are hermetic (contract rule 1),
+            # so the split never changes a value — and it only happens under
+            # an active fault plan, so fault-free stats stay comparable
+            head = self._rows(task, task.rows[:1], task.row_labels[:1])
+            self._fire(task, "mid_evaluation")
+            tail = self._rows(task, task.rows[1:], task.row_labels[1:])
+            values = np.concatenate([head, tail], axis=0)
         else:
-            values = engine.vqe_energy_rows(
-                task.circuit,
-                task.plan,
-                task.rows,
-                row_labels=task.row_labels,
-                witness_weights=task.witness_weights,
-            )
+            values = self._rows(task, task.rows, task.row_labels)
+            self._fire(task, "mid_evaluation")
 
         bound_entries = engine.transpile_cache.export_entries(self.exported_bound)
         parametric_entries = engine.parametric_transpile_cache.export_entries(
@@ -178,6 +216,7 @@ class _GradientWorkerContext:
         self.exported_structures, self.exported_parametric_bound = (
             engine.parametric_transpile_cache.export_keys()
         )
+        self._fire(task, "result_send")
         return _GradientShardResult(
             shard_index=task.shard_index,
             values=values,
@@ -190,13 +229,17 @@ class _GradientWorkerContext:
             parametric_entries=parametric_entries,
             # repro: ignore[det-monotonic-flow] -- per-shard timing report only
             elapsed_seconds=time.perf_counter() - start,
+            attempt=task.attempt,
         )
 
 
 _GRADIENT_WORKER_CONTEXT: Optional[_GradientWorkerContext] = None
 
 
-def _init_gradient_worker(device, config, initial_layout) -> None:
+def _init_gradient_worker(device, config, initial_layout, spawn_probe=None) -> None:
+    if spawn_probe is not None:
+        injector, shard_index, generation, attempt = spawn_probe
+        injector.fire("pool_spawn", shard_index, generation, attempt)
     global _GRADIENT_WORKER_CONTEXT
     _GRADIENT_WORKER_CONTEXT = _GradientWorkerContext(
         device, config, initial_layout
@@ -210,7 +253,7 @@ def _run_gradient_shard(task: _GradientShardTask) -> _GradientShardResult:
 
 
 def _ping(value: int) -> int:
-    """No-op task used by :meth:`ShardedGradientEngine.warm_up`."""
+    """No-op task used by warm-up pings and background pool respawns."""
     return value
 
 
@@ -223,12 +266,17 @@ class ShardedGradientEngine:
     """A gradient engine that fans evaluation rows out to worker processes.
 
     Drop-in for the sequential-mode :class:`BatchedGradientEngine` (it owns
-    one for the in-process and degraded paths): ``shift_plan``,
-    ``qml_expectations_rows`` and ``vqe_energy_rows`` have identical
-    signatures and — by the determinism contract above — produce identical
-    floats.  Both the parent engine and every worker start from *fresh*
-    caches, so warm state never depends on what ran before the engine was
-    constructed.
+    one for the in-process, confirmation and degraded paths):
+    ``shift_plan``, ``qml_expectations_rows`` and ``vqe_energy_rows`` have
+    identical signatures and — by the determinism contract above — produce
+    identical floats.  Both the parent engine and every worker start from
+    *fresh* caches, so warm state never depends on what ran before the
+    engine was constructed.
+
+    The retry/deadline policy reads the ``shard_*`` fields off the gradient
+    config (:class:`~repro.gradients.engine.GradientEngineConfig`);
+    ``fault_plan`` (default: parsed from ``REPRO_FAULTS``) drives the
+    deterministic chaos harness.
 
     Call :meth:`close` (or use the context-manager protocol) to shut the
     worker pools down.
@@ -241,6 +289,7 @@ class ShardedGradientEngine:
         *,
         initial_layout=None,
         workers: int = 1,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.device = device
         self.config = config if config is not None else GradientEngineConfig()
@@ -252,14 +301,25 @@ class ShardedGradientEngine:
         )
         self.scheduler_stats = GradientShardStats()
         self.last_shard_reports: List[dict] = []
+        self.retry_policy = RetryPolicy.from_config(self.config)
+        self.fault_plan = (
+            FaultPlan.from_env() if fault_plan is None else fault_plan
+        )
+        self._current_step = 0
         # One single-process pool per shard slot, so shard i always runs in
         # the same worker process and its caches stay warm across steps.
-        self._executors: List[Optional[ProcessPoolExecutor]] = [None] * max(
-            0, self.workers
+        self._pools = WorkerPoolGroup(
+            max(0, self.workers), _init_gradient_worker, self._spawn_initargs
         )
-        #: shard indices that raise instead of evaluating — fault-injection
-        #: seam for the degradation tests; never set in production code
-        self._fault_shards: frozenset = frozenset()
+
+    def _spawn_initargs(self, shard_index: int, spawn_attempt: int) -> tuple:
+        injector = self.fault_plan.injector("gradient")
+        probe = (
+            (injector, shard_index, self._current_step, spawn_attempt)
+            if injector is not None
+            else None
+        )
+        return (self.device, self.config, self.initial_layout, probe)
 
     # -- delegation -----------------------------------------------------------
 
@@ -287,11 +347,16 @@ class ShardedGradientEngine:
 
     # -- lifecycle -----------------------------------------------------------
 
+    @property
+    def _executors(self):
+        """The per-shard pool slots (None = not spawned / killed)."""
+        return self._pools.slots
+
     def warm_up(self) -> None:
         """Start the worker pools ahead of time (overlapping startups)."""
         if self.workers > 1:
             futures = [
-                self._ensure_executor(shard_index).submit(_ping, shard_index)
+                self._pools.ensure(shard_index).submit(_ping, shard_index)
                 for shard_index in range(self.workers)
             ]
             for future in futures:
@@ -299,13 +364,9 @@ class ShardedGradientEngine:
 
     def close(self) -> None:
         """Shut every worker pool down (idempotent, safe on partial init)."""
-        executors = getattr(self, "_executors", None)
-        if not executors:
-            return
-        for shard_index, executor in enumerate(executors):
-            if executor is not None:
-                executor.shutdown(wait=True, cancel_futures=True)
-                executors[shard_index] = None
+        pools = getattr(self, "_pools", None)
+        if pools is not None:
+            pools.close()
 
     def __enter__(self) -> "ShardedGradientEngine":
         return self
@@ -318,21 +379,6 @@ class ShardedGradientEngine:
             self.close()
         except Exception:
             pass
-
-    def _ensure_executor(self, shard_index: int) -> ProcessPoolExecutor:
-        if self._executors[shard_index] is None:
-            method = (
-                "fork"
-                if "fork" in multiprocessing.get_all_start_methods()
-                else None
-            )
-            self._executors[shard_index] = ProcessPoolExecutor(
-                max_workers=1,
-                mp_context=multiprocessing.get_context(method),
-                initializer=_init_gradient_worker,
-                initargs=(self.device, self.config, self.initial_layout),
-            )
-        return self._executors[shard_index]
 
     # -- evaluation -----------------------------------------------------------
 
@@ -383,43 +429,56 @@ class ShardedGradientEngine:
             if witness_weights is None
             else np.asarray(witness_weights, dtype=float).ravel()
         )
+        step = self.scheduler_stats.steps
         self.scheduler_stats.steps += 1
+        self._current_step = step
         shard_count = min(self.workers, n_rows)
 
-        def in_process() -> np.ndarray:
+        def in_process(split: np.ndarray) -> np.ndarray:
             if kind == "qml":
                 return self.engine.qml_expectations_rows(
-                    circuit, rows, features,
-                    row_labels=labels, witness_weights=witness,
+                    circuit, rows[split], features,
+                    row_labels=labels[split], witness_weights=witness,
                 )
             return self.engine.vqe_energy_rows(
-                circuit, plan, rows,
-                row_labels=labels, witness_weights=witness,
+                circuit, plan, rows[split],
+                row_labels=labels[split], witness_weights=witness,
             )
 
+        all_rows = np.arange(n_rows)
         if shard_count <= 1:
             self.scheduler_stats.in_process_steps += 1
             self.last_shard_reports = []
-            return in_process()
+            return in_process(all_rows)
 
-        splits = np.array_split(np.arange(n_rows), shard_count)
+        splits = np.array_split(all_rows, shard_count)
         try:
-            results = self._run_sharded(
-                kind, circuit, rows, labels, witness, features, plan, splits
+            results, confirmed = self._run_resilient(
+                kind, circuit, rows, labels, witness, features, plan,
+                splits, step, in_process,
             )
-        except Exception as exc:  # noqa: BLE001 — degrade on any fault
+        except RetriesExhausted as exc:
             self._degrade(exc)
-            return in_process()
+            return in_process(all_rows)
         self.scheduler_stats.sharded_steps += 1
-        return self._merge_results(results, splits, rows.shape, kind)
+        return self._merge_results(results, confirmed, splits, rows.shape)
 
-    def _run_sharded(
-        self, kind, circuit, rows, labels, witness, features, plan, splits
-    ) -> List[_GradientShardResult]:
+    def _run_resilient(
+        self, kind, circuit, rows, labels, witness, features, plan,
+        splits, step, in_process_fn,
+    ):
+        """Dispatch one step under the retry/deadline policy.
+
+        Returns ``(shard results, confirmed values)`` where confirmed values
+        are shard-index→row-values recovered from worker task errors by the
+        one-shot in-process confirmation run.  A task error that reproduces
+        in-process is re-raised: it is a real bug, not a fault.
+        """
         seed = int(self.config.seed)
-        futures = []
+        injector = self.fault_plan.injector("gradient")
+        tasks: Dict[int, _GradientShardTask] = {}
         for shard_index, split in enumerate(splits):
-            task = _GradientShardTask(
+            tasks[shard_index] = _GradientShardTask(
                 shard_index=shard_index,
                 seed=stable_seed((seed, "gradient-shard", shard_index)),
                 kind=kind,
@@ -429,39 +488,59 @@ class ShardedGradientEngine:
                 witness_weights=witness,
                 features=features,
                 plan=plan,
-                fail=shard_index in self._fault_shards,
+                generation=step,
+                injector=injector,
             )
-            futures.append(
-                self._ensure_executor(shard_index).submit(
-                    _run_gradient_shard, task
-                )
-            )
-        self.scheduler_stats.shards_dispatched += len(futures)
-        results: List[_GradientShardResult] = []
-        failures: List[BaseException] = []
-        for future in futures:
+        self.scheduler_stats.shards_dispatched += len(tasks)
+        stats = self.scheduler_stats
+        retried_before = stats.retried_shards
+        dispatcher = ResilientDispatcher(
+            self._pools, self.retry_policy, _run_gradient_shard, _ping, stats
+        )
+        results, task_errors = dispatcher.run(tasks)
+
+        confirmed: Dict[int, np.ndarray] = {}
+        for shard_index in sorted(task_errors):
+            cause = task_errors[shard_index]
+            stats.task_error_confirmations += 1
             try:
-                results.append(future.result())
-            except Exception as exc:  # noqa: BLE001 — collected, then degrade
-                failures.append(exc)
-        if failures:
-            self.scheduler_stats.worker_failures += len(failures)
-            raise _GradientShardFailure(results, failures[0])
-        return results
+                confirmed[shard_index] = in_process_fn(splits[shard_index])
+            except Exception as confirmed_exc:
+                # the error reproduces without the worker machinery: a
+                # deterministic task bug — surface it, never retry it away
+                raise confirmed_exc from cause
+            stats.flaky_recoveries += 1
+        recovered = stats.retried_shards - retried_before
+        if recovered or task_errors:
+            warnings.warn(
+                f"sharded gradient step recovered from worker faults "
+                f"(retried_shards={recovered}, "
+                f"confirmed_task_errors={len(task_errors)}); values unchanged",
+                RuntimeWarning,
+                stacklevel=5,
+            )
+        return results, confirmed
 
     # -- merging -------------------------------------------------------------
 
     def _merge_results(
-        self, results, splits, rows_shape, kind
+        self, results: Dict[int, _GradientShardResult], confirmed, splits,
+        rows_shape,
     ) -> np.ndarray:
-        by_shard = sorted(results, key=lambda r: r.shard_index)
-        first = np.asarray(by_shard[0].values)
+        first = np.asarray(
+            next(iter(results.values())).values
+            if results
+            else confirmed[min(confirmed)]
+        )
         out_shape = (rows_shape[0],) + first.shape[1:]
         out = np.empty(out_shape, dtype=first.dtype)
         reports: List[dict] = []
-        for result in by_shard:
-            out[splits[result.shard_index]] = result.values
+        for shard_index in sorted(results):
+            result = results[shard_index]
+            out[splits[shard_index]] = result.values
             self._merge_shard(result, reports)
+        for shard_index in sorted(confirmed):
+            out[splits[shard_index]] = confirmed[shard_index]
         self.last_shard_reports = reports
         return out
 
@@ -476,6 +555,7 @@ class ShardedGradientEngine:
             {
                 "shard": result.shard_index,
                 "rows": int(result.engine_stats.rows_evaluated),
+                "attempts": result.attempt + 1,
                 "elapsed_seconds": result.elapsed_seconds,
             }
         )
@@ -493,28 +573,21 @@ class ShardedGradientEngine:
 
     # -- degradation ----------------------------------------------------------
 
-    def _degrade(self, exc: Exception) -> None:
-        """Account a failed step and prepare the in-process retry."""
-        if isinstance(exc, _GradientShardFailure):
-            # adopt what the healthy shards compiled so the retry is warm;
-            # their stats/values are dropped — the retry recounts everything
-            for result in sorted(exc.results, key=lambda r: r.shard_index):
-                self._adopt_entries(result)
-            cause: BaseException = exc.cause
-        else:
-            cause = exc
-        if isinstance(cause, BrokenProcessPool):
-            # at least one pool is unusable; drop them all so the next step
-            # restarts from fresh workers
-            try:
-                self.close()
-            except Exception:
-                self._executors = [None] * max(0, self.workers)
+    def _degrade(self, exc: RetriesExhausted) -> None:
+        """Account a failed step and prepare the in-process retry.
+
+        Reached only when the resilient dispatcher exhausted every retry
+        round — the last resort, not the first response to a fault.
+        """
+        # adopt what the healthy shards compiled so the retry is warm;
+        # their stats/values are dropped — the retry recounts everything
+        for shard_index in sorted(exc.results):
+            self._adopt_entries(exc.results[shard_index])
         self.scheduler_stats.degraded_steps += 1
         self.last_shard_reports = []
         warnings.warn(
-            "sharded gradient evaluation degraded to the in-process path: "
-            f"{cause!r}",
+            "sharded gradient evaluation degraded to the in-process path "
+            f"after exhausting shard retries: {exc.cause!r}",
             RuntimeWarning,
-            stacklevel=3,
+            stacklevel=4,
         )

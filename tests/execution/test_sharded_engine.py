@@ -16,7 +16,7 @@ from repro.core import EvolutionConfig, EvolutionEngine, SuperCircuit, get_desig
 from repro.core.estimator import EstimatorConfig, PerformanceEstimator
 from repro.core.evolution import Candidate
 from repro.devices import get_device
-from repro.execution import ExecutionEngine, ShardedExecutionEngine
+from repro.execution import ExecutionEngine, FaultPlan, ShardedExecutionEngine
 
 ATOL = 1e-9
 WORKER_COUNTS = (1, 2, 4)
@@ -262,12 +262,14 @@ def test_sequential_engine_config_stays_in_process(u3cu3_supercircuit, yorktown,
 
 
 # ---------------------------------------------------------------------------
-# Fault injection / graceful degradation
+# Fault injection / resilient recovery
 # ---------------------------------------------------------------------------
 
 
-def test_worker_fault_degrades_with_warning_and_exact_scores(u3cu3_supercircuit,
-                                                             yorktown, tiny_dataset):
+def test_flaky_worker_recovers_without_degrading(u3cu3_supercircuit, yorktown,
+                                                 tiny_dataset):
+    """A transient task error is confirmed in-process — same scores, no
+    whole-generation degradation."""
     space = get_design_space("u3cu3")
     candidates = make_population(space, 4, yorktown, seed=13, size=4)
 
@@ -278,40 +280,105 @@ def test_worker_fault_degrades_with_warning_and_exact_scores(u3cu3_supercircuit,
         healthy.close()
 
     engine = sharded_engine(yorktown, u3cu3_supercircuit, "noise_sim", 2, workers=2)
+    engine.fault_plan = FaultPlan.parse("flaky@task_receive[shard=0,gen=0]")
     try:
-        engine._fault_shards = frozenset({0})
+        with pytest.warns(RuntimeWarning, match="recovered from worker faults"):
+            recovered = engine.evaluate_qml_population(candidates, tiny_dataset, 4)
+        # never a wrong score: the recovered generation is bit-for-bit the
+        # healthy sharded result
+        assert recovered == reference
+        assert engine.scheduler_stats.worker_failures == 1
+        assert engine.scheduler_stats.task_error_confirmations == 1
+        assert engine.scheduler_stats.flaky_recoveries == 1
+        assert engine.scheduler_stats.degraded_generations == 0
+        assert engine.scheduler_stats.sharded_generations == 1
+
+        # next generation is fault-free and shards cleanly
+        again = engine.evaluate_qml_population(candidates, tiny_dataset, 4)
+        assert again == reference
+        assert engine.scheduler_stats.sharded_generations == 2
+    finally:
+        engine.close()
+
+
+def test_crashed_worker_retries_on_survivors(u3cu3_supercircuit, yorktown,
+                                             tiny_dataset):
+    """A crashed pool's shard is rebalanced onto survivors — same scores,
+    retry counters > 0, no degradation."""
+    space = get_design_space("u3cu3")
+    candidates = make_population(space, 4, yorktown, seed=13, size=4)
+
+    healthy = sharded_engine(yorktown, u3cu3_supercircuit, "noise_sim", 2, workers=2)
+    try:
+        reference = healthy.evaluate_qml_population(candidates, tiny_dataset, 4)
+    finally:
+        healthy.close()
+
+    engine = sharded_engine(yorktown, u3cu3_supercircuit, "noise_sim", 2, workers=2)
+    engine.fault_plan = FaultPlan.parse("crash@task_receive[shard=0,gen=0]")
+    try:
+        with pytest.warns(RuntimeWarning, match="recovered from worker faults"):
+            recovered = engine.evaluate_qml_population(candidates, tiny_dataset, 4)
+        assert recovered == reference
+        stats = engine.scheduler_stats
+        assert stats.worker_failures >= 1
+        assert stats.retried_shards >= 1
+        assert stats.degraded_generations == 0
+        assert stats.sharded_generations == 1
+    finally:
+        engine.close()
+
+
+def test_exhausted_retries_degrade_with_exact_scores(u3cu3_supercircuit, yorktown,
+                                                     tiny_dataset):
+    """When every retry round fails, the last-resort degradation still
+    produces the exact sequential scores."""
+    space = get_design_space("u3cu3")
+    candidates = make_population(space, 4, yorktown, seed=17, size=4)
+    sequential, _ = reference_engines(yorktown, u3cu3_supercircuit, "success_rate", 6)
+    seq = sequential.evaluate_qml_population(candidates, tiny_dataset, 4)
+    engine = sharded_engine(
+        yorktown, u3cu3_supercircuit, "success_rate", 6, workers=2,
+        shard_retries=1, shard_backoff_seconds=0.0,
+    )
+    engine.fault_plan = FaultPlan.parse("crash@task_receive[times=99]")
+    try:
         with pytest.warns(RuntimeWarning, match="degraded to the in-process path"):
             degraded = engine.evaluate_qml_population(candidates, tiny_dataset, 4)
-        # never a wrong score: the degraded generation is bit-for-bit the
-        # healthy sharded result
-        assert degraded == reference
-        assert engine.scheduler_stats.worker_failures == 1
-        assert engine.scheduler_stats.degraded_generations == 1
-        assert engine.scheduler_stats.sharded_generations == 0
+        np.testing.assert_allclose(degraded, seq, rtol=0, atol=ATOL)
+        stats = engine.scheduler_stats
+        assert stats.worker_failures >= 2
+        assert stats.degraded_generations == 1
+        assert stats.sharded_generations == 0
 
-        # the pool survives an application-level fault: the next generation
-        # shards again and still agrees exactly
-        engine._fault_shards = frozenset()
+        # pools respawn after the failed generation: a fault-free follow-up
+        # generation shards again and still agrees exactly
+        engine.fault_plan = FaultPlan.parse(None)
         recovered = engine.evaluate_qml_population(candidates, tiny_dataset, 4)
-        assert recovered == reference
+        np.testing.assert_allclose(recovered, seq, rtol=0, atol=ATOL)
         assert engine.scheduler_stats.sharded_generations == 1
     finally:
         engine.close()
 
 
-def test_degraded_generation_matches_sequential(u3cu3_supercircuit, yorktown,
-                                                tiny_dataset):
+def test_reproducing_task_error_is_reraised(u3cu3_supercircuit, yorktown,
+                                            tiny_dataset, monkeypatch):
+    """A task error that reproduces in the confirmation run is a real bug
+    and surfaces instead of silently degrading."""
     space = get_design_space("u3cu3")
-    candidates = make_population(space, 4, yorktown, seed=17, size=4)
-    sequential, _ = reference_engines(yorktown, u3cu3_supercircuit, "success_rate", 6)
-    seq = sequential.evaluate_qml_population(candidates, tiny_dataset, 4)
-    engine = sharded_engine(yorktown, u3cu3_supercircuit, "success_rate", 6, workers=2)
+    candidates = make_population(space, 4, yorktown, seed=13, size=4)
+    engine = sharded_engine(yorktown, u3cu3_supercircuit, "noise_sim", 2, workers=2)
+
+    def broken(*args, **kwargs):
+        raise ValueError("deterministic evaluation bug")
+
     try:
-        engine._fault_shards = frozenset({0, 1})
-        with pytest.warns(RuntimeWarning):
-            degraded = engine.evaluate_qml_population(candidates, tiny_dataset, 4)
-        np.testing.assert_allclose(degraded, seq, rtol=0, atol=ATOL)
-        assert engine.scheduler_stats.worker_failures == 2
+        # break the worker-side evaluation AND the parent's confirmation path
+        monkeypatch.setattr(
+            ExecutionEngine, "evaluate_qml_population", broken
+        )
+        with pytest.raises(ValueError, match="deterministic evaluation bug"):
+            engine.evaluate_qml_population(candidates, tiny_dataset, 4)
     finally:
         engine.close()
 

@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.devices import QuantumBackend, get_device
+from repro.execution import FaultPlan
 from repro.gradients import (
     BatchedGradientEngine,
     GradientEngineConfig,
@@ -48,15 +49,15 @@ def tiny_model():
     return model
 
 
-def train_with_workers(dataset, workers, backend=None, fault_shards=None):
+def train_with_workers(dataset, workers, backend=None, faults=None):
     """Two epochs of parameter-shift training; returns (result, history)."""
     model = tiny_model()
     config = TrainConfig(epochs=2, batch_size=4, learning_rate=0.1, seed=0)
     gradient = ParameterShiftGradient(
         backend, workers=workers, engine="sequential", seed=0
     )
-    if fault_shards is not None:
-        gradient._engine._fault_shards = frozenset(fault_shards)
+    if faults is not None:
+        gradient._engine.fault_plan = FaultPlan.parse(faults)
     with gradient:
         result = train_qnn(model, dataset, config, gradient_fn=gradient)
     return result
@@ -94,18 +95,67 @@ class TestTrajectoryDeterminism:
 
 
 class TestFaultInjection:
-    def test_degraded_step_warns_and_changes_nothing(self, shard_dataset):
+    def test_flaky_step_recovers_and_changes_nothing(self, shard_dataset):
+        """A transient task error recovers via the in-process confirmation
+        run — identical trajectories, zero degraded steps."""
         reference = train_with_workers(shard_dataset, workers=1)
-        with pytest.warns(RuntimeWarning, match="degraded to the in-process"):
+        with pytest.warns(RuntimeWarning, match="recovered from worker faults"):
             faulty = train_with_workers(
-                shard_dataset, workers=2, fault_shards={1}
+                shard_dataset, workers=2,
+                faults="flaky@task_receive[shard=1,gen=0,engine=gradient]",
             )
         assert np.array_equal(faulty.weights, reference.weights)
         assert [h["train_loss"] for h in faulty.history] == [
             h["train_loss"] for h in reference.history
         ]
-        # every step degraded (the injected fault fires on each dispatch),
-        # and the per-epoch report carries the degradation counters
+        recovered = sum(
+            record.get("gradient_flaky_recoveries", 0.0)
+            for record in faulty.history
+        )
+        degraded = sum(
+            record.get("gradient_degraded_steps", 0.0)
+            for record in faulty.history
+        )
+        assert recovered > 0
+        assert degraded == 0
+
+    def test_crashed_shard_retries_and_changes_nothing(self, shard_dataset):
+        """A worker crash retries on the surviving pool — identical
+        trajectories, retry counters in the epoch report, zero degraded."""
+        reference = train_with_workers(shard_dataset, workers=1)
+        with pytest.warns(RuntimeWarning, match="recovered from worker faults"):
+            faulty = train_with_workers(
+                shard_dataset, workers=2,
+                faults="crash@result_send[shard=0,gen=0,engine=gradient]",
+            )
+        assert np.array_equal(faulty.weights, reference.weights)
+        assert [h["train_loss"] for h in faulty.history] == [
+            h["train_loss"] for h in reference.history
+        ]
+        retried = sum(
+            record.get("gradient_retried_shards", 0.0)
+            for record in faulty.history
+        )
+        degraded = sum(
+            record.get("gradient_degraded_steps", 0.0)
+            for record in faulty.history
+        )
+        assert retried > 0
+        assert degraded == 0
+
+    def test_exhausted_retries_degrade_and_change_nothing(self, shard_dataset):
+        """Unrecoverable infrastructure faults fall back whole-step — the
+        genuine last resort — and still change nothing."""
+        reference = train_with_workers(shard_dataset, workers=1)
+        with pytest.warns(RuntimeWarning, match="degraded to the in-process"):
+            faulty = train_with_workers(
+                shard_dataset, workers=2,
+                faults="crash@task_receive[engine=gradient,times=99]",
+            )
+        assert np.array_equal(faulty.weights, reference.weights)
+        assert [h["train_loss"] for h in faulty.history] == [
+            h["train_loss"] for h in reference.history
+        ]
         degraded = sum(
             record.get("gradient_degraded_steps", 0.0)
             for record in faulty.history
