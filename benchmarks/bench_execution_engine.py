@@ -45,6 +45,16 @@ gates are skipped there — timings on shared CI runners are not meaningful).
 The sharded gate additionally requires >= ``SHARDED_WORKERS`` physical cores:
 four processes cannot beat one on a single-core host, and a timing "gate"
 that cannot fail honestly there would only fail noisily.
+
+A second measurement (``test_service_multiplexing``) runs two full co-search
+tenants through :class:`repro.service.CoSearchService` — once each on a
+private service, then both multiplexed on one shared worker pool — and
+reports the multiplexed wall time against the sum of the solo walls in a
+``service`` section of the same JSON report.  Multiplexing is only useful if
+it does not change the science, so the benchmark asserts each tenant's
+search history is bitwise identical across the two arrangements; the timing
+ratio itself is reported without a gate (interleaving two searches on one
+pool trades per-job latency for shared capacity by design).
 """
 
 import json
@@ -65,6 +75,7 @@ from repro.core import (
 from repro.core.evolution import Candidate
 from repro.devices import get_device
 from repro.execution import ExecutionEngine, ShardedExecutionEngine
+from repro.service import CoSearchService, SearchJob
 
 SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
 N_QUBITS = 4
@@ -97,6 +108,11 @@ BACKEND_COUNTER_FIELDS = (
 PATHS = ("sequential", "bound_key", "parametric", "sharded_w1",
          f"sharded_w{SHARDED_WORKERS}")
 OUTPUT_JSON = "BENCH_execution.json"
+#: the multi-tenant service workload: two co-search tenants multiplexed on
+#: one shared pool vs each tenant on a private service
+SERVICE_WORKERS = 2
+SERVICE_ITERATIONS = 2 if SMOKE else 4
+SERVICE_POPULATION = 6 if SMOKE else 12
 
 
 def build_population(space, device, seed=11):
@@ -416,3 +432,127 @@ def test_execution_engine_speedup(benchmark):
         # noise_sim workload (only meaningful with >= 4 physical cores)
         noise_sim = report["modes"]["noise_sim"]
         assert noise_sim["sharded_vs_w1_cold"] >= REQUIRED_SHARDED_SPEEDUP, noise_sim
+
+
+def service_job(name, dataset, encoder, seed):
+    """One full co-search tenant for the multi-tenant service workload."""
+    return SearchJob(
+        name=name,
+        kind="qml",
+        space="u3cu3",
+        device="yorktown",
+        n_qubits=N_QUBITS,
+        evolution=EvolutionConfig(
+            iterations=SERVICE_ITERATIONS, population_size=SERVICE_POPULATION,
+            parent_size=3, mutation_size=3, crossover_size=2, seed=seed,
+        ),
+        estimator=EstimatorConfig(
+            mode="success_rate", n_valid_samples=N_VALID_SUCCESS_RATE,
+            shard_min_group_size=1,
+        ),
+        dataset=dataset,
+        n_classes=dataset.n_classes,
+        encoder=encoder,
+        seed=3,
+    )
+
+
+def run_service_experiment():
+    """Two tenants solo vs multiplexed on one shared service pool."""
+    dataset, encoder = small_task("mnist-4")
+    seeds = {"tenant-a": 11, "tenant-b": 23}
+
+    solo_results, solo_seconds = {}, {}
+    for name, seed in seeds.items():
+        start = time.perf_counter()
+        with CoSearchService(max_workers=SERVICE_WORKERS,
+                             max_concurrent_jobs=1) as service:
+            service.submit(service_job(name, dataset, encoder, seed))
+            solo_results.update(service.run())
+        solo_seconds[name] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with CoSearchService(max_workers=SERVICE_WORKERS,
+                         max_concurrent_jobs=2) as shared:
+        for name, seed in seeds.items():
+            shared.submit(service_job(name, dataset, encoder, seed))
+        shared_results = shared.run()
+        stats = {name: shared.tenant_stats[name] for name in seeds}
+    multiplexed_seconds = time.perf_counter() - start
+
+    solo_total = sum(solo_seconds.values())
+    section = {
+        "workers": SERVICE_WORKERS,
+        "iterations": SERVICE_ITERATIONS,
+        "population_size": SERVICE_POPULATION,
+        "tenants": {
+            name: {
+                "solo_seconds": solo_seconds[name],
+                "generations": stats[name].generations,
+                "candidates": stats[name].candidates,
+                "cache_hits": stats[name].cache_hits,
+                "cache_misses": stats[name].cache_misses,
+                "simulator_seconds": stats[name].simulator_seconds,
+                "bitwise_identical_to_solo": (
+                    shared_results[name].history == solo_results[name].history
+                    and shared_results[name].best_score
+                    == solo_results[name].best_score
+                ),
+            }
+            for name in sorted(seeds)
+        },
+        "solo_total_seconds": solo_total,
+        "multiplexed_seconds": multiplexed_seconds,
+        "multiplexed_vs_solo_total": (
+            solo_total / multiplexed_seconds if multiplexed_seconds else None
+        ),
+    }
+    # fold the section into the report the engine benchmark wrote (pytest
+    # runs this file's tests in order, so the file normally exists already;
+    # a standalone run of just this test starts a fresh report)
+    try:
+        with open(OUTPUT_JSON, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        report = {}
+    report["service"] = section
+    with open(OUTPUT_JSON, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    return section
+
+
+def test_service_multiplexing(benchmark):
+    section = benchmark.pedantic(run_service_experiment, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            tenant["solo_seconds"],
+            tenant["generations"],
+            tenant["candidates"],
+            tenant["cache_hits"],
+            tenant["simulator_seconds"],
+            tenant["bitwise_identical_to_solo"],
+        ]
+        for name, tenant in section["tenants"].items()
+    ]
+    rows.append([
+        "multiplexed", section["multiplexed_seconds"], "-", "-", "-", "-",
+        f"{section['multiplexed_vs_solo_total']:.2f}x vs solo total",
+    ])
+    print_table(
+        ["tenant", "wall s", "generations", "candidates", "cache hits",
+         "sim s", "bitwise == solo"],
+        rows,
+        title=(
+            f"Co-search service — 2 tenants on {SERVICE_WORKERS} shared "
+            f"workers ({SERVICE_ITERATIONS} generations x "
+            f"{SERVICE_POPULATION} candidates each); "
+            f"service section in {OUTPUT_JSON}"
+        ),
+    )
+    # multiplexing must never change the science: every tenant's shared-pool
+    # search reproduces its solo run bitwise
+    for name, tenant in section["tenants"].items():
+        assert tenant["bitwise_identical_to_solo"], (name, tenant)
+        assert tenant["generations"] == SERVICE_ITERATIONS, (name, tenant)
+        assert tenant["candidates"] > 0, (name, tenant)

@@ -11,6 +11,7 @@ The package is organised as:
 * :mod:`repro.core`      — QuantumNAS itself (SuperCircuit, co-search, pruning)
 * :mod:`repro.execution` — batched population-evaluation engine for the co-search
 * :mod:`repro.backends`  — pluggable simulation backends with per-group dispatch
+* :mod:`repro.service`   — multi-tenant co-search service (shared worker pools)
 * :mod:`repro.baselines` — human / random / noise-unaware baselines
 """
 
@@ -25,6 +26,7 @@ from . import (
     noise,
     qml,
     quantum,
+    service,
     transpile,
     utils,
     vqe,
@@ -39,6 +41,7 @@ __all__ = [
     "noise",
     "qml",
     "quantum",
+    "service",
     "transpile",
     "utils",
     "vqe",

@@ -28,13 +28,16 @@ None, "best_score": float, "estimator_caches": {"bound": [...],
 "parametric": {...}} | None}``.  Writes are atomic (temp file +
 ``os.replace`` in the target directory), so a crash mid-write leaves the
 previous checkpoint intact; unknown versions raise instead of resuming
-wrong.
+wrong, while a truncated/corrupt file (one written without the atomic
+rename, or rotted on disk) degrades to resume-from-scratch with a
+``RuntimeWarning`` rather than crashing the run.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from typing import Optional
 
 __all__ = ["SearchCheckpointer"]
@@ -67,8 +70,29 @@ class SearchCheckpointer:
         """
         if not os.path.exists(self.path):
             return None
-        with open(self.path, "rb") as handle:
-            state = pickle.load(handle)
+        try:
+            with open(self.path, "rb") as handle:
+                state = pickle.load(handle)
+        except (EOFError, pickle.UnpicklingError, AttributeError, IndexError,
+                ValueError, OSError) as exc:
+            # a truncated or corrupt file (disk-full crash mid-write before
+            # the atomic rename existed, bit rot, ...) must degrade to a
+            # fresh search, not kill the resumed run
+            warnings.warn(
+                f"checkpoint {self.path!r} is unreadable ({exc!r}); "
+                "resuming from scratch",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        if not isinstance(state, dict):
+            warnings.warn(
+                f"checkpoint {self.path!r} does not hold a search state "
+                f"payload (got {type(state).__name__}); resuming from scratch",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
         version = state.get("version")
         if version != self.VERSION:
             raise ValueError(

@@ -24,7 +24,7 @@ if TYPE_CHECKING:
     from .checkpoint import SearchCheckpointer
 
 __all__ = ["Candidate", "EvolutionConfig", "EvolutionResult", "EvolutionEngine",
-           "PopulationScoreFn", "random_search"]
+           "SearchRun", "PopulationScoreFn", "random_search"]
 
 
 @dataclass(frozen=True)
@@ -189,6 +189,30 @@ class EvolutionEngine:
 
     # -- main loop ----------------------------------------------------------------------
 
+    def start_search(
+        self,
+        score_fn: Optional[ScoreFn] = None,
+        verbose: bool = False,
+        population_score_fn: Optional[PopulationScoreFn] = None,
+        checkpointer: Optional["SearchCheckpointer"] = None,
+    ) -> "SearchRun":
+        """A :class:`SearchRun` stepping this search one generation at a time.
+
+        ``search()`` is ``start_search(...)`` driven to completion; callers
+        that need to interleave several searches (the multi-tenant
+        :mod:`repro.service` scheduler) call :meth:`SearchRun.step`
+        themselves.  The run restores checkpoint state on construction, so
+        suspending after any ``step()`` and rebuilding the run later resumes
+        bitwise.
+        """
+        return SearchRun(
+            self,
+            score_fn=score_fn,
+            verbose=verbose,
+            population_score_fn=population_score_fn,
+            checkpointer=checkpointer,
+        )
+
     def search(
         self,
         score_fn: Optional[ScoreFn] = None,
@@ -210,107 +234,170 @@ class EvolutionEngine:
         populations, same rng stream, same history tail as the
         uninterrupted run.
         """
+        run = self.start_search(
+            score_fn=score_fn,
+            verbose=verbose,
+            population_score_fn=population_score_fn,
+            checkpointer=checkpointer,
+        )
+        while run.step():
+            pass
+        return run.result()
+
+
+class SearchRun:
+    """One evolutionary search, advanced one generation per :meth:`step`.
+
+    Owns the full loop state ``EvolutionEngine.search`` used to keep in
+    locals: population, gene→score cache, history, best candidate and the
+    iteration cursor.  The constructor reproduces ``search()``'s setup
+    exactly — the initial population is drawn (consuming the engine rng)
+    *before* any checkpoint overrides population and rng state — so driving
+    a run to completion is bitwise identical to the monolithic loop, and a
+    run interleaved with other tenants' runs scores the same populations as
+    one run alone.
+    """
+
+    def __init__(
+        self,
+        engine: EvolutionEngine,
+        score_fn: Optional[ScoreFn] = None,
+        verbose: bool = False,
+        population_score_fn: Optional[PopulationScoreFn] = None,
+        checkpointer: Optional["SearchCheckpointer"] = None,
+    ) -> None:
         if (score_fn is None) == (population_score_fn is None):
             raise ValueError(
                 "provide exactly one of score_fn or population_score_fn"
             )
-        population = [self.random_candidate() for _ in range(self.config.population_size)]
-        cache: Dict[Tuple[int, ...], float] = {}
-        history: List[Dict[str, float]] = []
-        evaluated = 0
-        best: Optional[Candidate] = None
-        best_score = float("inf")
-        start_iteration = 0
+        self.engine = engine
+        self.score_fn = score_fn
+        self.population_score_fn = population_score_fn
+        self.checkpointer = checkpointer
+        self.verbose = verbose
+        self.population: List[Candidate] = [
+            engine.random_candidate()
+            for _ in range(engine.config.population_size)
+        ]
+        self.cache: Dict[Tuple[int, ...], float] = {}
+        self.history: List[Dict[str, float]] = []
+        self.evaluated = 0
+        self.best: Optional[Candidate] = None
+        self.best_score = float("inf")
+        self.iteration = 0
 
         if checkpointer is not None:
             state = checkpointer.load()
             if state is not None:
-                start_iteration = int(state["iteration"])
-                self.rng.bit_generator.state = state["rng_state"]
-                population = [
-                    self.candidate_from_gene(gene) for gene in state["population"]
+                self.iteration = int(state["iteration"])
+                engine.rng.bit_generator.state = state["rng_state"]
+                self.population = [
+                    engine.candidate_from_gene(gene)
+                    for gene in state["population"]
                 ]
-                cache = {tuple(gene): score for gene, score in state["cache"]}
-                history = list(state["history"])
-                evaluated = int(state["evaluated"])
-                best_score = float(state["best_score"])
+                self.cache = {
+                    tuple(gene): score for gene, score in state["cache"]
+                }
+                self.history = list(state["history"])
+                self.evaluated = int(state["evaluated"])
+                self.best_score = float(state["best_score"])
                 if state["best"] is not None:
-                    best = self.candidate_from_gene(state["best"])
+                    self.best = engine.candidate_from_gene(state["best"])
 
-        for iteration in range(start_iteration, self.config.iterations):
-            if population_score_fn is not None:
-                pending: List[Candidate] = []
-                seen: set = set()
-                for candidate in population:
-                    key = tuple(candidate.gene())
-                    if key not in cache and key not in seen:
-                        seen.add(key)
-                        pending.append(candidate)
-                if pending:
-                    scores = population_score_fn(pending)
-                    if len(scores) != len(pending):
-                        raise ValueError(
-                            "population_score_fn returned "
-                            f"{len(scores)} scores for {len(pending)} candidates"
-                        )
-                    for candidate, score in zip(pending, scores):
-                        cache[tuple(candidate.gene())] = float(score)
-                    evaluated += len(pending)
-            scored: List[Tuple[float, Candidate]] = []
-            for candidate in population:
+    @property
+    def done(self) -> bool:
+        return self.iteration >= self.engine.config.iterations
+
+    def step(self) -> bool:
+        """Run one generation; ``False`` when the search is already done."""
+        if self.done:
+            return False
+        engine = self.engine
+        iteration = self.iteration
+        if self.population_score_fn is not None:
+            pending: List[Candidate] = []
+            seen: set = set()
+            for candidate in self.population:
                 key = tuple(candidate.gene())
-                if key not in cache:
-                    cache[key] = float(score_fn(candidate.config, candidate.mapping))
-                    evaluated += 1
-                scored.append((cache[key], candidate))
-            scored.sort(key=lambda item: item[0])
-            if scored[0][0] < best_score:
-                best_score, best = scored[0]
-            history.append(
+                if key not in self.cache and key not in seen:
+                    seen.add(key)
+                    pending.append(candidate)
+            if pending:
+                scores = self.population_score_fn(pending)
+                if len(scores) != len(pending):
+                    raise ValueError(
+                        "population_score_fn returned "
+                        f"{len(scores)} scores for {len(pending)} candidates"
+                    )
+                for candidate, score in zip(pending, scores):
+                    self.cache[tuple(candidate.gene())] = float(score)
+                self.evaluated += len(pending)
+        scored: List[Tuple[float, Candidate]] = []
+        for candidate in self.population:
+            key = tuple(candidate.gene())
+            if key not in self.cache:
+                self.cache[key] = float(
+                    self.score_fn(candidate.config, candidate.mapping)
+                )
+                self.evaluated += 1
+            scored.append((self.cache[key], candidate))
+        scored.sort(key=lambda item: item[0])
+        if scored[0][0] < self.best_score:
+            self.best_score, self.best = scored[0]
+        self.history.append(
+            {
+                "iteration": iteration,
+                "best_score": self.best_score,
+                "population_best": scored[0][0],
+                "population_mean": float(np.mean([s for s, _c in scored])),
+            }
+        )
+        if self.verbose:
+            print(
+                f"[evolution] iter {iteration:3d} best={self.best_score:.4f} "
+                f"mean={self.history[-1]['population_mean']:.4f}"
+            )
+        parents = [
+            candidate for _score, candidate in scored[: engine.config.parent_size]
+        ]
+        mutations = [
+            engine.mutate(parents[int(engine.rng.integers(0, len(parents)))])
+            for _ in range(engine.config.mutation_size)
+        ]
+        crossovers = [
+            engine.crossover(
+                parents[int(engine.rng.integers(0, len(parents)))],
+                parents[int(engine.rng.integers(0, len(parents)))],
+            )
+            for _ in range(engine.config.crossover_size)
+        ]
+        self.population = parents + mutations + crossovers
+        self.iteration = iteration + 1
+        if self.checkpointer is not None:
+            self.checkpointer.save(
                 {
-                    "iteration": iteration,
-                    "best_score": best_score,
-                    "population_best": scored[0][0],
-                    "population_mean": float(np.mean([s for s, _c in scored])),
+                    "iteration": self.iteration,
+                    "rng_state": engine.rng.bit_generator.state,
+                    "population": [c.gene() for c in self.population],
+                    "cache": [
+                        (list(gene), score) for gene, score in self.cache.items()
+                    ],
+                    "history": list(self.history),
+                    "evaluated": self.evaluated,
+                    "best": self.best.gene() if self.best is not None else None,
+                    "best_score": self.best_score,
                 }
             )
-            if verbose:
-                print(
-                    f"[evolution] iter {iteration:3d} best={best_score:.4f} "
-                    f"mean={history[-1]['population_mean']:.4f}"
-                )
-            parents = [candidate for _score, candidate in scored[: self.config.parent_size]]
-            mutations = [
-                self.mutate(parents[int(self.rng.integers(0, len(parents)))])
-                for _ in range(self.config.mutation_size)
-            ]
-            crossovers = [
-                self.crossover(
-                    parents[int(self.rng.integers(0, len(parents)))],
-                    parents[int(self.rng.integers(0, len(parents)))],
-                )
-                for _ in range(self.config.crossover_size)
-            ]
-            population = parents + mutations + crossovers
-            if checkpointer is not None:
-                checkpointer.save(
-                    {
-                        "iteration": iteration + 1,
-                        "rng_state": self.rng.bit_generator.state,
-                        "population": [c.gene() for c in population],
-                        "cache": [
-                            (list(gene), score) for gene, score in cache.items()
-                        ],
-                        "history": list(history),
-                        "evaluated": evaluated,
-                        "best": best.gene() if best is not None else None,
-                        "best_score": best_score,
-                    }
-                )
+        return True
 
-        assert best is not None
+    def result(self) -> EvolutionResult:
+        """The search outcome (valid once at least one generation ran)."""
+        assert self.best is not None
         return EvolutionResult(
-            best=best, best_score=best_score, history=history, evaluated=evaluated
+            best=self.best,
+            best_score=self.best_score,
+            history=self.history,
+            evaluated=self.evaluated,
         )
 
 

@@ -164,6 +164,42 @@ class QuantumNASQMLPipeline:
                 checkpointer=_search_checkpointer(self.config, self.estimator),
             )
 
+    def co_search_job(
+        self,
+        name: str,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ):
+        """This pipeline's co-search stage as a service-schedulable job.
+
+        Submit the returned :class:`~repro.service.SearchJob` to a
+        :class:`~repro.service.CoSearchService` to run stage 2 alongside
+        other tenants on shared workers.  The job carries the pipeline's
+        (typically trained) supercircuit and its warm estimator, so the
+        service run feeds the same caches stage 5 reuses — and its scores
+        are bitwise identical to :meth:`co_search`.
+        """
+        from ..service import SearchJob  # service imports core; stay lazy
+
+        return SearchJob(
+            name=name,
+            kind="qml",
+            space=self.space,
+            device=self.device,
+            n_qubits=self.n_qubits,
+            evolution=self.config.evolution,
+            estimator=self.estimator,
+            dataset=self.dataset,
+            n_classes=self.n_classes,
+            encoder=self.encoder,
+            supercircuit=self.supercircuit,
+            priority=priority,
+            deadline=deadline,
+            checkpoint_path=getattr(
+                self.config.evolution, "checkpoint_path", None
+            ),
+        )
+
     def train_best(self, sub_config: SubCircuitConfig):
         return train_subcircuit_qml(
             self.supercircuit,
@@ -321,6 +357,36 @@ class QuantumNASVQEPipeline:
                 population_score_fn=execution.vqe_population_scorer(self.molecule),
                 checkpointer=_search_checkpointer(self.config, self.estimator),
             )
+
+    def co_search_job(
+        self,
+        name: str,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ):
+        """This pipeline's co-search stage as a service-schedulable job.
+
+        See :meth:`QuantumNASQMLPipeline.co_search_job` — same contract,
+        VQE task family.
+        """
+        from ..service import SearchJob  # service imports core; stay lazy
+
+        return SearchJob(
+            name=name,
+            kind="vqe",
+            space=self.space,
+            device=self.device,
+            n_qubits=self.n_qubits,
+            evolution=self.config.evolution,
+            estimator=self.estimator,
+            molecule=self.molecule,
+            supercircuit=self.supercircuit,
+            priority=priority,
+            deadline=deadline,
+            checkpoint_path=getattr(
+                self.config.evolution, "checkpoint_path", None
+            ),
+        )
 
     def measure(
         self, model: VQEModel, weights: np.ndarray, mapping: Tuple[int, ...]

@@ -246,17 +246,29 @@ class WorkerPoolGroup:
             executor.submit(ping_fn, index)
         except Exception:
             # the respawn itself failed; the slot stays dead and a later
-            # round's ensure() will try again
+            # round's ensure() will try again.  ensure() may already have
+            # constructed a pool (and forked its worker) before the ping
+            # submit blew up — kill it, or the worker process leaks.
+            executor = self._slots[index]
             self._slots[index] = None
             self.dead[index] = True
+            if executor is not None:
+                kill_executor(executor)
             return False
         return True
 
     def close(self) -> None:
+        """Tear every pool down, hung workers included.
+
+        Routed through :func:`kill_executor` rather than a bare
+        ``shutdown(wait=True)``: shutdown joins the worker, so closing an
+        engine whose worker is stuck mid-task would block forever.
+        Terminating first makes close bounded regardless of worker state.
+        """
         for index, executor in enumerate(self._slots):
             if executor is not None:
-                executor.shutdown(wait=True, cancel_futures=True)
                 self._slots[index] = None
+                kill_executor(executor)
 
 
 class ResilienceCounters:

@@ -150,6 +150,13 @@ class _ShardTask:
     attempt: int = 0
     #: deterministic fault-injection trigger (None outside chaos runs)
     injector: Optional[FaultInjector] = None
+    #: owning tenant name when dispatched through a service-shared pool
+    #: (None for engine-owned pools, whose workers hold a single context)
+    tenant: Optional[str] = None
+    #: ``(device, config, supercircuit)`` for lazily building this tenant's
+    #: worker-side context.  Ships with every tenant task so a retried or
+    #: rebalanced task can rebuild the context on whichever pool it lands on.
+    context_spec: Optional[tuple] = None
 
 
 # repro: pickle-boundary
@@ -278,6 +285,11 @@ class _WorkerContext:
 
 _WORKER_CONTEXT: Optional[_WorkerContext] = None
 
+#: per-tenant contexts inside a service-shared worker (see
+#: :func:`_init_service_worker`); tenant caches never mix because each
+#: tenant's tasks resolve to its own estimator/engine stack
+_SERVICE_CONTEXTS: Dict[str, _WorkerContext] = {}
+
 
 def _init_worker(device, config, supercircuit, spawn_probe=None) -> None:
     if spawn_probe is not None:
@@ -287,7 +299,36 @@ def _init_worker(device, config, supercircuit, spawn_probe=None) -> None:
     _WORKER_CONTEXT = _WorkerContext(device, config, supercircuit)
 
 
+def _init_service_worker(spawn_probe=None) -> None:
+    """Initializer for pools shared by many tenants (:mod:`repro.service`).
+
+    Unlike :func:`_init_worker`, no single context can be built up front —
+    the worker serves whichever tenants' shard tasks land on it.  Contexts
+    are built lazily from each task's ``context_spec`` and kept per tenant,
+    so a tenant's caches stay warm across generations on its home shard
+    exactly like a private pool, while tenants sharing the pool stay
+    isolated from each other's estimator state.
+    """
+    if spawn_probe is not None:
+        injector, shard_index, generation, attempt = spawn_probe
+        injector.fire("pool_spawn", shard_index, generation, attempt)
+    global _SERVICE_CONTEXTS
+    _SERVICE_CONTEXTS = {}
+
+
 def _run_shard(task: _ShardTask) -> _ShardResult:
+    if task.tenant is not None:
+        context = _SERVICE_CONTEXTS.get(task.tenant)
+        if context is None:
+            if task.context_spec is None:
+                raise RuntimeError(
+                    f"tenant task {task.tenant!r} arrived without a "
+                    "context_spec to build its worker context from"
+                )
+            device, config, supercircuit = task.context_spec
+            context = _WorkerContext(device, config, supercircuit)
+            _SERVICE_CONTEXTS[task.tenant] = context
+        return context.run(task)
     if _WORKER_CONTEXT is None:
         raise RuntimeError("shard worker used before _init_worker ran")
     return _WORKER_CONTEXT.run(task)
@@ -314,6 +355,15 @@ class ShardedExecutionEngine(ExecutionEngine):
     ``shard_retries`` / ``shard_backoff_*`` resilience knobs);
     ``workers <= 1`` never creates a pool.
 
+    ``pools`` + ``tenant`` switch the engine into shared-pool mode for the
+    multi-tenant service (:mod:`repro.service`): shard tasks are dispatched
+    onto an externally-owned :class:`~repro.execution.resilience.
+    WorkerPoolGroup` (spawned with ``_init_service_worker``) and carry the
+    tenant name so shared workers keep one lazily-built context per tenant.
+    Scores are unchanged by the sharing — the determinism contract above
+    makes every unit of evaluation hermetic with respect to which process
+    (and alongside which tenants) it runs.
+
     Simulation-backend dispatch (:mod:`repro.backends`) composes with
     sharding without any payload changes: backend selection is a pure
     function of the estimator config that ships to workers anyway, so every
@@ -335,6 +385,8 @@ class ShardedExecutionEngine(ExecutionEngine):
         workers: Optional[int] = None,
         shard_min_group_size: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
+        pools: Optional[WorkerPoolGroup] = None,
+        tenant: Optional[str] = None,
         **engine_kwargs,
     ) -> None:
         super().__init__(estimator, supercircuit, **engine_kwargs)
@@ -357,13 +409,34 @@ class ShardedExecutionEngine(ExecutionEngine):
             FaultPlan.from_env() if fault_plan is None else fault_plan
         )
         self._current_generation = 0
-        # One single-process pool per shard slot, so shard i always runs in
-        # the same worker process: its caches stay warm across generations
-        # (ProcessPoolExecutor's shared task queue would hand a shard to
-        # whichever process grabbed it first, leaving warm caches behind).
-        self._pools = WorkerPoolGroup(
-            max(0, self.workers), _init_worker, self._spawn_initargs
-        )
+        if pools is not None:
+            # Externally-owned pool group (the multi-tenant service): shard
+            # tasks carry the tenant name + context spec so the shared
+            # workers (spawned with _init_service_worker) resolve them to
+            # this engine's per-tenant worker context.  The owner closes the
+            # pools; this engine never does.
+            if tenant is None:
+                raise ValueError(
+                    "an externally-owned pool group needs a tenant name so "
+                    "shared workers can keep this engine's context separate"
+                )
+            self.tenant = str(tenant)
+            self._owns_pools = False
+            self._pools = pools
+            # never plan more shards than the shared group has slots;
+            # size 0 keeps every generation on the in-process path
+            self.workers = min(self.workers, pools.size)
+        else:
+            self.tenant = None
+            self._owns_pools = True
+            # One single-process pool per shard slot, so shard i always runs
+            # in the same worker process: its caches stay warm across
+            # generations (ProcessPoolExecutor's shared task queue would hand
+            # a shard to whichever process grabbed it first, leaving warm
+            # caches behind).
+            self._pools = WorkerPoolGroup(
+                max(0, self.workers), _init_worker, self._spawn_initargs
+            )
 
     def _spawn_initargs(self, shard_index: int, spawn_attempt: int) -> tuple:
         injector = self.fault_plan.injector("execution")
@@ -410,10 +483,11 @@ class ShardedExecutionEngine(ExecutionEngine):
         managers) and from ``__del__`` — including on a partially
         constructed instance whose ``__init__`` raised before the pool
         group existed — so interrupted benchmarks and aborted searches never
-        leak worker processes.
+        leak worker processes.  Externally-owned (service-shared) pool
+        groups are left running: their owner closes them.
         """
         pools = getattr(self, "_pools", None)
-        if pools is not None:
+        if pools is not None and getattr(self, "_owns_pools", True):
             pools.close()
         super().close()
 
@@ -552,6 +626,11 @@ class ShardedExecutionEngine(ExecutionEngine):
         parameters = np.array(self.supercircuit.parameters, dtype=float)
         seed = getattr(self.estimator.config, "seed", 0)
         injector = self.fault_plan.injector("execution")
+        context_spec = (
+            (self.estimator.device, self.estimator.config, self.supercircuit)
+            if self.tenant is not None
+            else None
+        )
         tasks: Dict[int, _ShardTask] = {}
         for shard_index, shard in enumerate(shards):
             tasks[shard_index] = _ShardTask(
@@ -565,6 +644,8 @@ class ShardedExecutionEngine(ExecutionEngine):
                 payload=payload,
                 generation=generation,
                 injector=injector,
+                tenant=self.tenant,
+                context_spec=context_spec,
             )
         self.scheduler_stats.shards_dispatched += len(tasks)
         stats = self.scheduler_stats

@@ -290,6 +290,7 @@ class ShardedGradientEngine:
         initial_layout=None,
         workers: int = 1,
         fault_plan: Optional[FaultPlan] = None,
+        pools: Optional[WorkerPoolGroup] = None,
     ) -> None:
         self.device = device
         self.config = config if config is not None else GradientEngineConfig()
@@ -306,11 +307,23 @@ class ShardedGradientEngine:
             FaultPlan.from_env() if fault_plan is None else fault_plan
         )
         self._current_step = 0
-        # One single-process pool per shard slot, so shard i always runs in
-        # the same worker process and its caches stay warm across steps.
-        self._pools = WorkerPoolGroup(
-            max(0, self.workers), _init_gradient_worker, self._spawn_initargs
-        )
+        if pools is not None:
+            # Externally-owned pool group: the caller controls the pool
+            # lifecycle (close() leaves it running) and must have spawned it
+            # with this engine's gradient worker initializer — gradient
+            # worker contexts are built entirely from initargs, so a shared
+            # group serves exactly one (device, config, layout) triple.
+            self._owns_pools = False
+            self._pools = pools
+            self.workers = min(self.workers, pools.size)
+        else:
+            self._owns_pools = True
+            # One single-process pool per shard slot, so shard i always runs
+            # in the same worker process and its caches stay warm across
+            # steps.
+            self._pools = WorkerPoolGroup(
+                max(0, self.workers), _init_gradient_worker, self._spawn_initargs
+            )
 
     def _spawn_initargs(self, shard_index: int, spawn_attempt: int) -> tuple:
         injector = self.fault_plan.injector("gradient")
@@ -363,9 +376,12 @@ class ShardedGradientEngine:
                 future.result()
 
     def close(self) -> None:
-        """Shut every worker pool down (idempotent, safe on partial init)."""
+        """Shut every worker pool down (idempotent, safe on partial init).
+
+        Externally-owned pool groups are left running for their owner.
+        """
         pools = getattr(self, "_pools", None)
-        if pools is not None:
+        if pools is not None and getattr(self, "_owns_pools", True):
             pools.close()
 
     def __enter__(self) -> "ShardedGradientEngine":

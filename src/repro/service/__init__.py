@@ -1,0 +1,21 @@
+"""Multi-tenant co-search service.
+
+Turns the single-run co-search into a long-running scheduler: many
+:class:`SearchJob` submissions (QML and VQE, different devices, different
+budgets) share one worker pool group, an EDD-style priority/deadline
+policy picks whose generation runs each round, and every tenant's
+consumption is accounted in :class:`TenantStats`.  See ``README.md`` in
+this package for the job model, the scheduling policy and the determinism
+contract.
+"""
+
+from .jobs import JobHandle, SearchJob, TenantStats
+from .service import CoSearchService, edd_order
+
+__all__ = [
+    "CoSearchService",
+    "JobHandle",
+    "SearchJob",
+    "TenantStats",
+    "edd_order",
+]

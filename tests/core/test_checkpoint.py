@@ -139,6 +139,51 @@ class TestCheckpointResume:
         with pytest.raises(ValueError, match="version"):
             SearchCheckpointer(path).load()
 
+    def test_truncated_checkpoint_degrades_to_scratch(self, yorktown,
+                                                      tmp_path):
+        """Regression: a disk-full/crash-truncated checkpoint must warn and
+        resume from scratch, not raise EOFError/UnpicklingError."""
+        path = str(tmp_path / "truncated.ckpt")
+        make_engine(yorktown, small_config()).search(
+            score_fn=gene_score, checkpointer=SearchCheckpointer(path)
+        )
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(payload[: len(payload) // 2])
+
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert SearchCheckpointer(path).load() is None
+
+        reference = make_engine(yorktown, small_config()).search(
+            score_fn=gene_score
+        )
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            resumed = make_engine(yorktown, small_config()).search(
+                score_fn=gene_score, checkpointer=SearchCheckpointer(path)
+            )
+        # scratch run, bitwise equal to a never-checkpointed search — and
+        # the corrupt file was overwritten with a fresh, loadable checkpoint
+        assert resumed.history == reference.history
+        assert resumed.best.gene() == reference.best.gene()
+        state = SearchCheckpointer(path).load()
+        assert state is not None
+        assert state["iteration"] == small_config().iterations
+
+    def test_garbage_checkpoint_degrades_to_scratch(self, tmp_path):
+        path = str(tmp_path / "garbage.ckpt")
+        with open(path, "wb") as handle:
+            handle.write(b"this is not a pickle at all")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert SearchCheckpointer(path).load() is None
+
+    def test_non_dict_payload_degrades_to_scratch(self, tmp_path):
+        path = str(tmp_path / "weird.ckpt")
+        with open(path, "wb") as handle:
+            pickle.dump([1, 2, 3], handle)
+        with pytest.warns(RuntimeWarning, match="search state"):
+            assert SearchCheckpointer(path).load() is None
+
     def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
         path = str(tmp_path / "atomic.ckpt")
         checkpointer = SearchCheckpointer(path)

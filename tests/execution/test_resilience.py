@@ -241,6 +241,12 @@ def _run_task(task):
     return ("done", task.shard_index, task.attempt)
 
 
+def _run_task_mid(task):
+    if task.injector is not None:
+        task.injector.fire("mid_evaluation", task.shard_index, 0, task.attempt)
+    return ("done", task.shard_index, task.attempt)
+
+
 def _ping(value):
     return value
 
@@ -382,4 +388,55 @@ class TestWorkerPoolGroup:
             assert not pools.respawn_in_background(0, _ping)
             assert pools.ensure(0).submit(_ping, 7).result() == 7
         finally:
+            pools.close()
+
+    def test_close_with_hung_worker_is_bounded(self):
+        """Regression: close() must not join a worker stuck in a hung task.
+
+        The old ``shutdown(wait=True)`` path blocked until the 30s injected
+        hang finished; routing close through ``kill_executor`` terminates
+        the stuck worker first, so close returns promptly.
+        """
+        pools = WorkerPoolGroup(1, _noop_init, lambda i, a: ())
+        injector = FaultPlan.parse(
+            "hang@mid_evaluation[seconds=30]"
+        ).injector("execution")
+        executor = pools.ensure(0)
+        # prove the worker is up before handing it the hanging task
+        assert executor.submit(_ping, 0).result(timeout=30) == 0
+        executor.submit(_run_task_mid, _Task(0, injector))
+        time.sleep(0.5)  # let the worker enter the hang
+        start = time.perf_counter()
+        pools.close()
+        assert time.perf_counter() - start < 10.0
+        assert pools.alive_indices() == []
+
+    def test_respawn_failure_kills_leaked_executor(self, monkeypatch):
+        """Regression: a pool constructed by ensure() whose ping submission
+        fails must be killed, not abandoned with a live worker process."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.execution import resilience
+
+        pools = WorkerPoolGroup(1, _noop_init, lambda i, a: ())
+        killed = []
+        real_kill = resilience.kill_executor
+        monkeypatch.setattr(
+            resilience,
+            "kill_executor",
+            lambda executor: (killed.append(executor), real_kill(executor))[1],
+        )
+
+        def broken_submit(self, *args, **kwargs):
+            raise RuntimeError("submit exploded")
+
+        monkeypatch.setattr(ProcessPoolExecutor, "submit", broken_submit)
+        try:
+            assert not pools.respawn_in_background(0, _ping)
+            assert pools.slots[0] is None
+            assert pools.dead[0]
+            # the half-built pool was torn down instead of leaking
+            assert len(killed) == 1
+        finally:
+            monkeypatch.undo()
             pools.close()

@@ -1,0 +1,160 @@
+"""Admission control, EDD ordering and tenant isolation unit tests."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.estimator import EstimatorConfig
+from repro.core.evolution import EvolutionConfig
+from repro.service import CoSearchService, JobHandle, SearchJob, edd_order
+
+EVOLUTION = EvolutionConfig(
+    iterations=2,
+    population_size=6,
+    parent_size=2,
+    mutation_size=2,
+    crossover_size=2,
+    seed=5,
+)
+#: in-process (workers=0 via the service) and cheap: success_rate mode
+ESTIMATOR = EstimatorConfig(mode="success_rate", workers=1, n_valid_samples=4)
+
+
+def make_job(name, dataset, encoder, *, seed=5, iterations=2, **kwargs):
+    return SearchJob(
+        name=name,
+        kind="qml",
+        space="u3cu3",
+        device="yorktown",
+        n_qubits=4,
+        evolution=dataclasses.replace(EVOLUTION, seed=seed, iterations=iterations),
+        estimator=ESTIMATOR,
+        dataset=dataset,
+        n_classes=4,
+        encoder=encoder,
+        seed=3,
+        **kwargs,
+    )
+
+
+def handle(name, *, priority=0, deadline=None, arrival=0):
+    """A JobHandle for pure ordering tests (the job never runs)."""
+    job = SearchJob.__new__(SearchJob)  # skip __post_init__ payload checks
+    job.name = name
+    job.priority = priority
+    job.deadline = deadline
+    return JobHandle(job=job, arrival=arrival)
+
+
+class TestEddOrder:
+    def test_earlier_deadline_first(self):
+        late = handle("late", deadline=10.0, arrival=0)
+        soon = handle("soon", deadline=2.0, arrival=1)
+        assert [h.name for h in edd_order([late, soon])] == ["soon", "late"]
+
+    def test_deadline_beats_priority(self):
+        urgent = handle("urgent", deadline=3.0, priority=0, arrival=1)
+        important = handle("important", deadline=None, priority=99, arrival=0)
+        assert [h.name for h in edd_order([important, urgent])] == [
+            "urgent",
+            "important",
+        ]
+
+    def test_priority_breaks_ties_then_arrival(self):
+        a = handle("a", priority=1, arrival=2)
+        b = handle("b", priority=5, arrival=3)
+        c = handle("c", priority=5, arrival=1)
+        assert [h.name for h in edd_order([a, b, c])] == ["c", "b", "a"]
+
+    def test_best_effort_ordered_by_arrival(self):
+        first = handle("first", arrival=0)
+        second = handle("second", arrival=1)
+        assert [h.name for h in edd_order([second, first])] == [
+            "first",
+            "second",
+        ]
+
+
+class TestAdmissionControl:
+    @pytest.fixture
+    def encoder(self):
+        from repro.qml import encoder_for_task
+
+        return encoder_for_task("mnist-4")
+
+    def test_excess_jobs_queue_and_promote_fifo(self, tiny_dataset, encoder):
+        with CoSearchService(max_workers=0, max_concurrent_jobs=1) as service:
+            first = service.submit(make_job("first", tiny_dataset, encoder))
+            second = service.submit(
+                make_job("second", tiny_dataset, encoder, seed=11)
+            )
+            assert first.state == "active"
+            assert second.state == "queued"
+            results = service.run()
+            assert first.state == second.state == "done"
+            # the queued job was only admitted once the first retired
+            assert second.activated_round is not None
+            assert second.activated_round >= first.completed_round
+            assert sorted(results) == ["first", "second"]
+
+    def test_duplicate_tenant_name_rejected(self, tiny_dataset, encoder):
+        with CoSearchService(max_workers=0, max_concurrent_jobs=2) as service:
+            service.submit(make_job("alpha", tiny_dataset, encoder))
+            with pytest.raises(ValueError, match="already submitted"):
+                service.submit(make_job("alpha", tiny_dataset, encoder))
+
+    def test_deadline_job_finishes_before_best_effort(
+        self, tiny_dataset, encoder
+    ):
+        """With both jobs active, every round goes to the deadline job
+        until it completes."""
+        with CoSearchService(max_workers=0, max_concurrent_jobs=2) as service:
+            casual = service.submit(
+                make_job("casual", tiny_dataset, encoder, seed=11)
+            )
+            urgent = service.submit(
+                make_job("urgent", tiny_dataset, encoder, deadline=2.0)
+            )
+            service.run()
+            assert urgent.completed_round < casual.completed_round
+            # completed within 2 rounds: no deadline miss recorded
+            assert service.tenant_stats["urgent"].deadline_misses == 0
+
+    def test_missed_deadline_is_counted(self, tiny_dataset, encoder):
+        with CoSearchService(max_workers=0, max_concurrent_jobs=1) as service:
+            service.submit(
+                make_job(
+                    "tardy", tiny_dataset, encoder, iterations=3, deadline=1.0
+                )
+            )
+            service.run()
+            assert service.tenant_stats["tardy"].deadline_misses == 1
+
+    def test_failed_tenant_is_isolated(self, tiny_dataset, encoder):
+        """One job's deterministic bug retires that job; others finish."""
+
+        class BrokenMolecule:
+            pass  # no hamiltonian/observable: scoring raises
+
+        broken = SearchJob(
+            name="broken",
+            kind="vqe",
+            space="u3cu3",
+            device="yorktown",
+            n_qubits=4,
+            evolution=dataclasses.replace(EVOLUTION, seed=5),
+            estimator=ESTIMATOR,
+            molecule=BrokenMolecule(),
+            seed=3,
+        )
+        with CoSearchService(max_workers=0, max_concurrent_jobs=2) as service:
+            bad = service.submit(broken)
+            good = service.submit(make_job("good", tiny_dataset, encoder))
+            with pytest.warns(RuntimeWarning, match="failed and was retired"):
+                results = service.run()
+            assert bad.state == "failed"
+            assert bad.error is not None
+            assert good.state == "done"
+            assert sorted(results) == ["good"]
