@@ -46,6 +46,15 @@ The sharded gate additionally requires >= ``SHARDED_WORKERS`` physical cores:
 four processes cannot beat one on a single-core host, and a timing "gate"
 that cannot fail honestly there would only fail noisily.
 
+A telemetry measurement (``test_telemetry_overhead``) re-runs the warm
+``noise_sim`` parametric workload with tracing off and on
+(best-of-``TELEMETRY_OVERHEAD_REPEATS`` each), asserts the scores are
+bitwise identical, gates the traced/untraced warm ratio at
+``REQUIRED_TRACING_OVERHEAD`` (skipped in smoke mode, like every timing
+gate), and writes a ``telemetry`` section with the per-phase breakdown —
+transpile/bind seconds from the cache stats plus the
+schedule/simulate/score split from the ``engine_phase_seconds`` histogram.
+
 A second measurement (``test_service_multiplexing``) runs two full co-search
 tenants through :class:`repro.service.CoSearchService` — once each on a
 private service, then both multiplexed on one shared worker pool — and
@@ -108,6 +117,11 @@ BACKEND_COUNTER_FIELDS = (
 PATHS = ("sequential", "bound_key", "parametric", "sharded_w1",
          f"sharded_w{SHARDED_WORKERS}")
 OUTPUT_JSON = "BENCH_execution.json"
+#: tracing must be effectively free on the hot path: the traced warm
+#: noise_sim pass may cost at most 5% over the untraced one (best-of-N
+#: against best-of-N, so scheduler noise does not fail the gate spuriously)
+REQUIRED_TRACING_OVERHEAD = 1.05
+TELEMETRY_OVERHEAD_REPEATS = 3
 #: the multi-tenant service workload: two co-search tenants multiplexed on
 #: one shared pool vs each tenant on a private service
 SERVICE_WORKERS = 2
@@ -432,6 +446,131 @@ def test_execution_engine_speedup(benchmark):
         # noise_sim workload (only meaningful with >= 4 physical cores)
         noise_sim = report["modes"]["noise_sim"]
         assert noise_sim["sharded_vs_w1_cold"] >= REQUIRED_SHARDED_SPEEDUP, noise_sim
+
+
+def run_telemetry_experiment():
+    """Tracing overhead + per-phase breakdown on the warm noise_sim path."""
+    from repro import telemetry
+
+    dataset, encoder = small_task("mnist-4")
+    space = get_design_space("u3cu3")
+    device = get_device("yorktown")
+    supercircuit = SuperCircuit(space, N_QUBITS, encoder=encoder, seed=3)
+    candidates = build_population(space, device)
+
+    estimator = PerformanceEstimator(
+        device,
+        EstimatorConfig(mode="noise_sim", n_valid_samples=N_VALID_NOISE_SIM),
+    )
+    engine = ExecutionEngine(estimator, supercircuit)
+    tracer = telemetry.get_tracer()
+    saved_enabled, saved_writer = tracer.enabled, tracer.writer
+
+    def warm_pass():
+        start = time.perf_counter()
+        scores = engine.evaluate_qml_population(
+            candidates, dataset, dataset.n_classes
+        )
+        return time.perf_counter() - start, np.array(scores)
+
+    try:
+        tracer.enabled, tracer.writer = False, None
+        # warm every cache before any timed pass
+        engine.evaluate_qml_population(candidates, dataset, dataset.n_classes)
+        untraced = [warm_pass() for _ in range(TELEMETRY_OVERHEAD_REPEATS)]
+        telemetry.reset()
+        tracer.enabled = True
+        traced = [warm_pass() for _ in range(TELEMETRY_OVERHEAD_REPEATS)]
+        phase_hist = (
+            telemetry.get_metrics()
+            .snapshot()["histograms"]
+            .get("engine_phase_seconds", {})
+        )
+        span_count = len(tracer.records)
+    finally:
+        tracer.enabled, tracer.writer = saved_enabled, saved_writer
+        telemetry.reset()
+        engine.close()
+
+    # tracing must never change a number, not even by an ulp
+    reference = untraced[0][1]
+    for _, scores in untraced + traced:
+        assert np.array_equal(scores, reference), "tracing changed scores!"
+
+    bound = estimator.transpile_cache.stats
+    parametric = estimator.parametric_transpile_cache.stats
+    section = {
+        "workload": "warm noise_sim population, parametric in-process path",
+        "repeats": TELEMETRY_OVERHEAD_REPEATS,
+        "untraced_warm_seconds": min(t for t, _ in untraced),
+        "traced_warm_seconds": min(t for t, _ in traced),
+        "spans_per_traced_pass": span_count // TELEMETRY_OVERHEAD_REPEATS,
+        "required_max_overhead": REQUIRED_TRACING_OVERHEAD,
+        "gate_enforced": not SMOKE,
+        "phases": {
+            # compile/bind time accumulated by the caches across the whole
+            # run (cold warm-up included — warm passes compile nothing)
+            "transpile_compile_seconds": (
+                bound.compile_seconds + parametric.compile_seconds
+            ),
+            "bind_seconds": parametric.bind_seconds,
+            # the engine's schedule/simulate/score split, observed by the
+            # engine_phase_seconds histogram over the traced warm passes
+            **{
+                labels.partition("=")[2]: stats
+                for labels, stats in sorted(phase_hist.items())
+            },
+        },
+    }
+    section["tracing_overhead"] = (
+        section["traced_warm_seconds"] / section["untraced_warm_seconds"]
+        if section["untraced_warm_seconds"]
+        else None
+    )
+    try:
+        with open(OUTPUT_JSON, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        report = {}
+    report["telemetry"] = section
+    with open(OUTPUT_JSON, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    return section
+
+
+def test_telemetry_overhead(benchmark):
+    section = benchmark.pedantic(
+        run_telemetry_experiment, rounds=1, iterations=1
+    )
+    phases = section["phases"]
+    rows = [
+        ["transpile (compile)", "-", phases["transpile_compile_seconds"]],
+        ["bind", "-", phases["bind_seconds"]],
+    ]
+    for phase in ("schedule", "simulate", "score"):
+        stats = phases.get(phase)
+        if stats:
+            rows.append([phase, stats["count"], stats["sum"]])
+    rows.append([
+        "warm pass (untraced)", "-", section["untraced_warm_seconds"],
+    ])
+    rows.append([
+        f"warm pass (traced, {section['spans_per_traced_pass']} spans)",
+        "-", section["traced_warm_seconds"],
+    ])
+    print_table(
+        ["phase", "observations", "seconds"],
+        rows,
+        title=(
+            f"Telemetry — per-phase breakdown + tracing overhead "
+            f"(x{section['tracing_overhead']:.3f}); "
+            f"telemetry section in {OUTPUT_JSON}"
+        ),
+    )
+    # the engine phases were actually observed while traced
+    assert phases.get("simulate", {}).get("count", 0) > 0, phases
+    if not SMOKE:
+        assert section["tracing_overhead"] <= REQUIRED_TRACING_OVERHEAD, section
 
 
 def service_job(name, dataset, encoder, seed):

@@ -17,6 +17,9 @@ statics cannot see, with a runtime sanitizer):
 * :mod:`~repro.analysis.conformance` — every ``register_backend``
   registrant honors the ``SimulationBackend`` protocol
   (rules ``backend-*``);
+* :mod:`~repro.analysis.telemetry` — span/metric/clock values stay
+  observation-only: no telemetry-derived value reaches a return outside
+  the telemetry/stats modules (rule ``telemetry-flow``);
 * :mod:`~repro.analysis.sanitizer` — ``REPRO_SANITIZE=1`` fingerprints
   cache entries at export/adopt time and raises on post-merge mutation.
 
@@ -50,6 +53,7 @@ from .sanitizer import (
 from . import conformance  # noqa: F401  (registers backend-conformance)
 from . import determinism  # noqa: F401  (registers determinism)
 from . import pickle_safety  # noqa: F401  (registers pickle-safety)
+from . import telemetry  # noqa: F401  (registers telemetry-flow)
 
 __all__ = [
     "Finding",

@@ -94,6 +94,13 @@ _UNSAFE_TYPES = {
     "typing.Callable", "collections.abc.Callable", "Callable", "callable",
     "types.FunctionType", "types.LambdaType", "types.GeneratorType",
     "typing.Generator", "typing.Coroutine",
+    # live telemetry objects: a Tracer (span stack, writer handle), a
+    # metrics registry or an open TraceWriter smuggled into a shard payload
+    # drags process-local observation state across the boundary — workers
+    # ship flat SpanRecord buffers home instead
+    "repro.telemetry.Tracer", "repro.telemetry.spans.Tracer",
+    "repro.telemetry.MetricsRegistry", "repro.telemetry.metrics.MetricsRegistry",
+    "repro.telemetry.TraceWriter", "repro.telemetry.export.TraceWriter",
 }
 
 #: resolved callables whose *result*, assigned to an attribute, is unpicklable

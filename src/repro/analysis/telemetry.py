@@ -1,0 +1,225 @@
+"""Telemetry containment lint: observation must never become computation.
+
+PR 10 threaded spans, metrics and the :mod:`repro.utils.clock` seam through
+the engine, the sharded schedulers and the service.  The whole point of that
+instrumentation is that it is *observation-only*: durations, span buffers
+and metric values may be recorded, merged and reported, but they must never
+flow back into anything the engine returns — a score, a seed, a shard
+assignment.  The dynamic half of that contract is the bitwise
+tracing-on/off equivalence matrix in ``tests/telemetry``; this checker is
+the static half:
+
+``telemetry-flow``
+    A value obtained from :mod:`repro.telemetry` or
+    :mod:`repro.utils.clock` (or derived from one) reaches a ``return``
+    statement outside the telemetry/stats modules.  The two sanctioned
+    escapes — worker shard results carrying their span buffer and root-span
+    elapsed time home as an observational report — are annotated with
+    ``# repro: ignore[telemetry-flow] -- <why>`` so the audit trail lives
+    next to the code.
+
+The analysis is a per-function forward taint pass, deliberately in the
+tripwire spirit of the rest of this package rather than a proof:
+
+* sources: any call resolving under ``repro.telemetry.`` or
+  ``repro.utils.clock.`` (so ``telemetry.get_tracer()``,
+  ``clock.monotonic()``, ``telemetry.span(...)``...);
+* propagation: assignment to names (``started = clock.monotonic()``),
+  ``with ... as name`` bindings (``with tracer.capture() as spans:``),
+  augmented assignment, and any expression mentioning a tainted name
+  (``clock.monotonic() - started``, ``spans[-1].duration``);
+* containers: storing a tainted value into an attribute or item of a local
+  name taints that name too (``result.spans = spans`` taints ``result`` —
+  how the worker ``run()`` returns are caught).  Stores into ``self`` /
+  ``cls`` attributes are exempt: those are the stats-accumulation sinks
+  (``self.stats.compile_seconds += ...``) that ``det-monotonic-flow``
+  already audits, and tainting ``self`` would flag every unrelated
+  ``return self.x`` in the class.
+
+Sinks are ``return`` statements whose expression is tainted.  Modules whose
+business *is* telemetry — ``repro.telemetry*``, ``repro.utils.clock`` and
+the mergeable-stats module ``repro.execution.stats`` — are exempt
+wholesale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from .findings import Finding, Rule, Severity
+from .project import ModuleInfo, Project, dotted_name
+from .registry import Checker, register_checker
+
+__all__ = ["TelemetryFlowChecker"]
+
+TELEMETRY_FLOW = Rule(
+    "telemetry-flow",
+    Severity.ERROR,
+    "telemetry-derived value flows into a return outside the "
+    "telemetry/stats modules",
+)
+
+#: resolved-call prefixes whose results are telemetry-tainted
+_SOURCE_PREFIXES = ("repro.telemetry.", "repro.utils.clock.")
+
+#: modules whose business is telemetry — sources there are their own sinks
+_EXEMPT_MODULES = ("repro.utils.clock", "repro.execution.stats")
+_EXEMPT_PREFIXES = ("repro.telemetry",)
+
+#: attribute bases whose stores are stats-accumulation, not caller data flow
+_ACCUMULATOR_BASES = {"self", "cls"}
+
+
+def _is_exempt(module: ModuleInfo) -> bool:
+    if module.name in _EXEMPT_MODULES:
+        return True
+    return any(
+        module.name == prefix or module.name.startswith(prefix + ".")
+        for prefix in _EXEMPT_PREFIXES
+    )
+
+
+def _is_source_call(node: ast.Call, module: ModuleInfo) -> bool:
+    path = dotted_name(node.func)
+    if path is None:
+        return False
+    resolved = module.resolve(path)
+    return resolved.startswith(_SOURCE_PREFIXES)
+
+
+def _expr_tainted(node: ast.expr, tainted: Set[str], module: ModuleInfo) -> bool:
+    """True when the expression mentions a tainted name or a source call."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id in tainted:
+            return True
+        if isinstance(child, ast.Call) and _is_source_call(child, module):
+            return True
+    return False
+
+
+def _base_name(node: ast.expr) -> ast.expr:
+    """The root of an attribute/subscript chain: ``a`` for ``a.b[0].c``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node
+
+
+def _taint_target(target: ast.expr, tainted: Set[str]) -> None:
+    if isinstance(target, ast.Name):
+        tainted.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _taint_target(element, tainted)
+    elif isinstance(target, ast.Starred):
+        _taint_target(target.value, tainted)
+    elif isinstance(target, (ast.Attribute, ast.Subscript)):
+        base = _base_name(target)
+        if isinstance(base, ast.Name) and base.id not in _ACCUMULATOR_BASES:
+            tainted.add(base.id)
+
+
+@register_checker
+class TelemetryFlowChecker(Checker):
+    """Forward taint pass: telemetry/clock values must not reach returns."""
+
+    name = "telemetry"
+    rules = (TELEMETRY_FLOW,)
+
+    def check_module(self, module: ModuleInfo, project: Project) -> List[Finding]:
+        if _is_exempt(module):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                tainted: Set[str] = set()
+                self._scan_body(node.body, tainted, module, findings)
+        return findings
+
+    # -- per-function forward pass --------------------------------------------
+
+    def _scan_body(
+        self,
+        body: List[ast.stmt],
+        tainted: Set[str],
+        module: ModuleInfo,
+        findings: List[Finding],
+    ) -> None:
+        for statement in body:
+            self._scan_statement(statement, tainted, module, findings)
+
+    def _scan_statement(
+        self,
+        statement: ast.stmt,
+        tainted: Set[str],
+        module: ModuleInfo,
+        findings: List[Finding],
+    ) -> None:
+        # nested defs get their own pass from check_module; their returns
+        # are not this function's returns
+        if isinstance(
+            statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return
+        if isinstance(statement, ast.Return):
+            if statement.value is not None and _expr_tainted(
+                statement.value, tainted, module
+            ):
+                findings.append(
+                    TELEMETRY_FLOW.finding(
+                        module.display_path,
+                        statement.lineno,
+                        "telemetry/clock-derived value reaches this return — "
+                        "observation must stay out of computed results",
+                        hint="keep timing inside stats sinks, or annotate a "
+                        "sanctioned observational report with # repro: "
+                        "ignore[telemetry-flow] -- <why>",
+                        col=statement.col_offset,
+                    )
+                )
+            return
+        if isinstance(statement, ast.Assign):
+            if _expr_tainted(statement.value, tainted, module):
+                for target in statement.targets:
+                    _taint_target(target, tainted)
+            return
+        if isinstance(statement, ast.AugAssign):
+            if _expr_tainted(statement.value, tainted, module):
+                _taint_target(statement.target, tainted)
+            return
+        if isinstance(statement, ast.AnnAssign):
+            if statement.value is not None and _expr_tainted(
+                statement.value, tainted, module
+            ):
+                _taint_target(statement.target, tainted)
+            return
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                if item.optional_vars is not None and _expr_tainted(
+                    item.context_expr, tainted, module
+                ):
+                    _taint_target(item.optional_vars, tainted)
+            self._scan_body(statement.body, tainted, module, findings)
+            return
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            if _expr_tainted(statement.iter, tainted, module):
+                _taint_target(statement.target, tainted)
+            self._scan_body(statement.body, tainted, module, findings)
+            self._scan_body(statement.orelse, tainted, module, findings)
+            return
+        if isinstance(statement, ast.While):
+            self._scan_body(statement.body, tainted, module, findings)
+            self._scan_body(statement.orelse, tainted, module, findings)
+            return
+        if isinstance(statement, ast.If):
+            self._scan_body(statement.body, tainted, module, findings)
+            self._scan_body(statement.orelse, tainted, module, findings)
+            return
+        if isinstance(statement, ast.Try):
+            self._scan_body(statement.body, tainted, module, findings)
+            for handler in statement.handlers:
+                self._scan_body(handler.body, tainted, module, findings)
+            self._scan_body(statement.orelse, tainted, module, findings)
+            self._scan_body(statement.finalbody, tainted, module, findings)
+            return
+        # expression statements, raises, etc. neither taint nor sink

@@ -19,7 +19,6 @@ object.
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, List, Optional, Tuple
@@ -40,6 +39,8 @@ from ..transpile.parametric import (
 # the execution layer (repro.backends pins shot seeds with it) and now lives
 # with the other determinism helpers in repro.utils.rng.
 from ..utils.rng import stable_seed  # noqa: F401
+from ..utils import clock
+from .. import telemetry
 from .stats import MergeableStats
 
 __all__ = [
@@ -154,16 +155,16 @@ class TranspileCache:
             self._entries.move_to_end(key)
             return entry
         self.stats.misses += 1
-        start = time.perf_counter()
-        compiled = transpile(
-            circuit,
-            device,
-            initial_layout=initial_layout,
-            optimization_level=optimization_level,
-            seed=key[-1],
-        )
-        # repro: ignore[det-monotonic-flow] -- timing feeds the stats counter only
-        self.stats.compile_seconds += time.perf_counter() - start
+        start = clock.monotonic()
+        with telemetry.span("cache.compile", kind="bound"):
+            compiled = transpile(
+                circuit,
+                device,
+                initial_layout=initial_layout,
+                optimization_level=optimization_level,
+                seed=key[-1],
+            )
+        self.stats.compile_seconds += clock.monotonic() - start
         self._entries[key] = compiled
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
@@ -423,17 +424,17 @@ class ParametricTranspileCache:
         self, circuit, device, initial_layout, optimization_level, seed,
         witness_values,
     ) -> ParametricCompiledCircuit:
-        start = time.perf_counter()
-        compiled = parametric_transpile(
-            circuit,
-            device,
-            initial_layout=initial_layout,
-            optimization_level=optimization_level,
-            seed=seed,
-            witness_values=witness_values,
-        )
-        # repro: ignore[det-monotonic-flow] -- timing feeds the stats counter only
-        self.stats.compile_seconds += time.perf_counter() - start
+        start = clock.monotonic()
+        with telemetry.span("cache.compile", kind="parametric"):
+            compiled = parametric_transpile(
+                circuit,
+                device,
+                initial_layout=initial_layout,
+                optimization_level=optimization_level,
+                seed=seed,
+                witness_values=witness_values,
+            )
+        self.stats.compile_seconds += clock.monotonic() - start
         self.stats.variants_compiled += 1
         return compiled
 
@@ -495,13 +496,12 @@ class ParametricTranspileCache:
                 )
             )
         compiled: Optional[CompiledCircuit] = None
-        start = time.perf_counter()
+        start = clock.monotonic()
         for variant in state.variants:
             compiled = variant.try_bind(values)
             if compiled is not None:
                 break
-        # repro: ignore[det-monotonic-flow] -- timing feeds the stats counter only
-        self.stats.bind_seconds += time.perf_counter() - start
+        self.stats.bind_seconds += clock.monotonic() - start
         if compiled is None:
             state.template_misses += 1
             if (
@@ -517,10 +517,9 @@ class ParametricTranspileCache:
                 )
                 state.variants.append(variant)
                 state.template_misses = 0
-                start = time.perf_counter()
+                start = clock.monotonic()
                 compiled = variant.bind(values)
-                # repro: ignore[det-monotonic-flow] -- timing feeds the stats counter only
-                self.stats.bind_seconds += time.perf_counter() - start
+                self.stats.bind_seconds += clock.monotonic() - start
             else:
                 self.stats.fallbacks += 1
                 bound_circuit = (
@@ -597,10 +596,9 @@ class ParametricTranspileCache:
                     key[-1], np.concatenate([weights, generic]),
                 )
             )
-        start = time.perf_counter()
+        start = clock.monotonic()
         ok, binding = state.variants[0].bind_batch(values)
-        # repro: ignore[det-monotonic-flow] -- timing feeds the stats counter only
-        self.stats.bind_seconds += time.perf_counter() - start
+        self.stats.bind_seconds += clock.monotonic() - start
         self.stats.batch_binds += 1
         self.stats.batch_rows += int(ok.sum())
         fallback = {}
@@ -675,10 +673,9 @@ class ParametricTranspileCache:
                     key[-1], witness,
                 )
             )
-        start = time.perf_counter()
+        start = clock.monotonic()
         ok, binding = state.variants[0].bind_batch(values)
-        # repro: ignore[det-monotonic-flow] -- timing feeds the stats counter only
-        self.stats.bind_seconds += time.perf_counter() - start
+        self.stats.bind_seconds += clock.monotonic() - start
         self.stats.gradient_binds += 1
         self.stats.gradient_rows += int(ok.sum())
         fallback = {}

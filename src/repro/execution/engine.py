@@ -38,6 +38,7 @@ from ..backends import BackendDispatcher, DispatchRequest, SimulationJob
 from ..qml.qnn import readout_matrix
 from ..quantum.circuit import ParameterizedCircuit
 from ..utils.stats import nll_loss, softmax
+from .. import telemetry
 from .cache import (
     ParametricTranspileCache,
     TranspileCache,
@@ -246,15 +247,26 @@ class ExecutionEngine:
         return backend
 
     def _synchronize(self, backends: Dict[str, object]) -> None:
-        for backend in backends.values():
-            backend.synchronize()
+        for name, backend in backends.items():
+            with telemetry.span("backend.synchronize", backend=name):
+                backend.synchronize()
 
     def _merge_backend_stats(self, backends: Dict[str, object]) -> None:
-        """Fold every backend's counters into :attr:`stats`."""
-        for backend in backends.values():
+        """Fold every backend's counters into :attr:`stats`.
+
+        The same deltas feed the always-on per-backend telemetry counters
+        (``backend_stat_total{backend=..., field=...}``) — observation-only,
+        alongside (never instead of) the mergeable stats.
+        """
+        metrics = telemetry.get_metrics()
+        for name, backend in backends.items():
             for field, delta in backend.stats_delta().items():
                 if hasattr(self.stats, field):
                     setattr(self.stats, field, getattr(self.stats, field) + delta)
+                if delta:
+                    metrics.counter(
+                        "backend_stat_total", backend=name, field=field
+                    ).inc(delta)
 
     def _statevector(self, backends: Dict[str, object], mode: str, n_qubits: int,
                      needs_observables: bool = False):
@@ -281,6 +293,14 @@ class ExecutionEngine:
         candidates = list(candidates)
         if not candidates:
             return []
+        with telemetry.span(
+            "engine.population", kind="qml", candidates=len(candidates)
+        ):
+            return self._evaluate_qml(candidates, dataset, n_classes)
+
+    def _evaluate_qml(
+        self, candidates: List, dataset, n_classes: int
+    ) -> List[float]:
         estimator = self.estimator
         if self.mode == "sequential":
             return [
@@ -352,47 +372,55 @@ class ExecutionEngine:
         # pinned-seed shot sampling when dispatch selects the shot backend
         handles_by_candidate: Dict[int, List[object]] = {}
         density_rows = 0
-        for entry, indices in groups:
-            request = DispatchRequest(mode=mode, n_qubits=entry.circuit.n_qubits)
-            backend = self._backend_instance(
-                backends, self.dispatcher.select(request)
-            )
-            if not backend.capabilities.shot_based:
-                density_rows += len(indices) * len(features)
-            gene_key = tuple(candidates[indices[0]].config.as_gene())
-            handles_by_mapping: Dict[object, List[object]] = {}
-            bound_rows: Optional[list] = None
-            for index in indices:
-                mapping = candidates[index].mapping
-                mapping_key = _normalize_layout(mapping)
-                handles = handles_by_mapping.get(mapping_key)
-                if handles is None:
-                    if backend.capabilities.shot_based:
-                        handles = self._schedule_shot_rows(
-                            backend, entry, gene_key, mapping, features
-                        )
-                    else:
-                        if bound_rows is None and not self.parametric_transpile:
-                            bound_rows = [
-                                entry.circuit.bind(entry.weights, row)
-                                for row in features
-                            ]
-                        handles = self._schedule_density_rows(
-                            backend, entry, mapping, features, bound_rows
-                        )
-                    handles_by_mapping[mapping_key] = handles
-                handles_by_candidate[index] = handles
-        self._synchronize(backends)
+        with telemetry.phase_span("engine.phase", phase="schedule"):
+            for entry, indices in groups:
+                request = DispatchRequest(
+                    mode=mode, n_qubits=entry.circuit.n_qubits
+                )
+                backend = self._backend_instance(
+                    backends, self.dispatcher.select(request)
+                )
+                if not backend.capabilities.shot_based:
+                    density_rows += len(indices) * len(features)
+                gene_key = tuple(candidates[indices[0]].config.as_gene())
+                handles_by_mapping: Dict[object, List[object]] = {}
+                bound_rows: Optional[list] = None
+                for index in indices:
+                    mapping = candidates[index].mapping
+                    mapping_key = _normalize_layout(mapping)
+                    handles = handles_by_mapping.get(mapping_key)
+                    if handles is None:
+                        if backend.capabilities.shot_based:
+                            handles = self._schedule_shot_rows(
+                                backend, entry, gene_key, mapping, features
+                            )
+                        else:
+                            if (
+                                bound_rows is None
+                                and not self.parametric_transpile
+                            ):
+                                bound_rows = [
+                                    entry.circuit.bind(entry.weights, row)
+                                    for row in features
+                                ]
+                            handles = self._schedule_density_rows(
+                                backend, entry, mapping, features, bound_rows
+                            )
+                        handles_by_mapping[mapping_key] = handles
+                    handles_by_candidate[index] = handles
+        with telemetry.phase_span("engine.phase", phase="simulate"):
+            self._synchronize(backends)
         self.stats.density_circuits += density_rows
         estimator._backend.record_executions(len(candidates) * len(features))
 
-        readout = self._readout_matrix(n_qubits, n_classes)
-        for index, handles in handles_by_candidate.items():
-            expectations = np.stack(
-                [handle.logical_z_expectations(n_qubits) for handle in handles]
-            )
-            logits = expectations @ readout.T
-            scores[index] = nll_loss(softmax(logits), labels)
+        with telemetry.phase_span("engine.phase", phase="score"):
+            readout = self._readout_matrix(n_qubits, n_classes)
+            for index, handles in handles_by_candidate.items():
+                expectations = np.stack(
+                    [handle.logical_z_expectations(n_qubits) for handle in handles]
+                )
+                logits = expectations @ readout.T
+                scores[index] = nll_loss(softmax(logits), labels)
         self._merge_backend_stats(backends)
         return scores
 
@@ -490,6 +518,12 @@ class ExecutionEngine:
         candidates = list(candidates)
         if not candidates:
             return []
+        with telemetry.span(
+            "engine.population", kind="vqe", candidates=len(candidates)
+        ):
+            return self._evaluate_vqe(candidates, molecule)
+
+    def _evaluate_vqe(self, candidates: List, molecule) -> List[float]:
         estimator = self.estimator
         if self.mode == "sequential":
             return [
@@ -540,76 +574,85 @@ class ExecutionEngine:
         density_jobs: List[Tuple[int, object, Tuple[int, ...], object]] = []
 
         use_parametric = self.parametric_transpile and mode == "noise_sim"
-        for group_index, (entry, indices) in enumerate(groups):
-            energy = noise_free[group_index]
-            bound = None if use_parametric else entry.circuit.bind(entry.weights)
-            if mode == "noise_sim":
-                request = DispatchRequest(
-                    mode=mode,
-                    n_qubits=entry.circuit.n_qubits,
-                    needs_observables=True,
+        with telemetry.phase_span("engine.phase", phase="schedule"):
+            for group_index, (entry, indices) in enumerate(groups):
+                energy = noise_free[group_index]
+                bound = (
+                    None if use_parametric else entry.circuit.bind(entry.weights)
                 )
-                backend = self._backend_instance(
-                    backends, self.dispatcher.select(request)
-                )
-            else:
-                backend = None
-            group_jobs: List[Tuple[int, object, Tuple[int, ...]]] = []
-            for index in indices:
-                if bound is None:
-                    compiled = self._compile_parametric(
-                        entry, candidates[index].mapping, None
+                if mode == "noise_sim":
+                    request = DispatchRequest(
+                        mode=mode,
+                        n_qubits=entry.circuit.n_qubits,
+                        needs_observables=True,
+                    )
+                    backend = self._backend_instance(
+                        backends, self.dispatcher.select(request)
                     )
                 else:
-                    compiled = self.transpile_cache.get(
-                        bound,
-                        estimator.device,
-                        initial_layout=candidates[index].mapping,
-                        optimization_level=optimization_level,
+                    backend = None
+                group_jobs: List[Tuple[int, object, Tuple[int, ...]]] = []
+                for index in indices:
+                    if bound is None:
+                        compiled = self._compile_parametric(
+                            entry, candidates[index].mapping, None
+                        )
+                    else:
+                        compiled = self.transpile_cache.get(
+                            bound,
+                            estimator.device,
+                            initial_layout=candidates[index].mapping,
+                            optimization_level=optimization_level,
+                        )
+                    if mode == "success_rate":
+                        rate = compiled.success_rate()
+                        scores[index] = (
+                            rate * energy + (1.0 - rate) * mixed_energy
+                        )
+                        continue
+                    # noise_sim: the reduced register is compile metadata
+                    # (memoized on the compiled circuit), so the oversized
+                    # check stays in the engine and only simulatable circuits
+                    # reach the backend
+                    _reduced, used_physical = compiled.reduced_circuit()
+                    if len(used_physical) > max_density:
+                        rate = compiled.success_rate()
+                        scores[index] = (
+                            rate * energy + (1.0 - rate) * mixed_energy
+                        )
+                    else:
+                        group_jobs.append((index, compiled, used_physical))
+                if group_jobs:
+                    handles = backend.run_group(
+                        entry,
+                        [
+                            SimulationJob(compiled=compiled)
+                            for _index, compiled, _used in group_jobs
+                        ],
                     )
-                if mode == "success_rate":
-                    rate = compiled.success_rate()
-                    scores[index] = rate * energy + (1.0 - rate) * mixed_energy
-                    continue
-                # noise_sim: the reduced register is compile metadata
-                # (memoized on the compiled circuit), so the oversized
-                # check stays in the engine and only simulatable circuits
-                # reach the backend
-                _reduced, used_physical = compiled.reduced_circuit()
-                if len(used_physical) > max_density:
-                    rate = compiled.success_rate()
-                    scores[index] = rate * energy + (1.0 - rate) * mixed_energy
-                else:
-                    group_jobs.append((index, compiled, used_physical))
-            if group_jobs:
-                handles = backend.run_group(
-                    entry,
-                    [
-                        SimulationJob(compiled=compiled)
-                        for _index, compiled, _used in group_jobs
-                    ],
-                )
-                density_jobs.extend(
-                    (index, compiled, used_physical, handle)
-                    for (index, compiled, used_physical), handle in zip(
-                        group_jobs, handles
+                    density_jobs.extend(
+                        (index, compiled, used_physical, handle)
+                        for (index, compiled, used_physical), handle in zip(
+                            group_jobs, handles
+                        )
                     )
-                )
 
         if density_jobs:
-            self._synchronize(backends)
+            with telemetry.phase_span("engine.phase", phase="simulate"):
+                self._synchronize(backends)
             self.stats.density_circuits += len(density_jobs)
             # unlike the QML path, the sequential VQE estimator simulates
             # density matrices itself without charging the backend, so no
             # record_executions here — the #QC-runs metric must match
-            remapped_cache: Dict[int, object] = {}
-            for index, compiled, used_physical, handle in density_jobs:
-                key = id(compiled)
-                if key not in remapped_cache:
-                    remapped_cache[key] = estimator.remap_hamiltonian(
-                        hamiltonian, compiled, used_physical
-                    )
-                scores[index] = handle.pauli_expectation(remapped_cache[key])
+            with telemetry.phase_span("engine.phase", phase="score"):
+                remapped_cache: Dict[int, object] = {}
+                for index, compiled, used_physical, handle in density_jobs:
+                    key = id(compiled)
+                    if key not in remapped_cache:
+                        remapped_cache[key] = estimator.remap_hamiltonian(
+                            hamiltonian, compiled, used_physical
+                        )
+                    scores[index] = handle.pauli_expectation(remapped_cache[key])
         self._merge_backend_stats(backends)
         return scores
 

@@ -51,6 +51,9 @@ from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..utils import clock
+from .. import telemetry
+
 __all__ = [
     "INFRASTRUCTURE",
     "TASK_ERROR",
@@ -335,6 +338,11 @@ class ResilientDispatcher:
                 if delay > 0:
                     time.sleep(delay)
                 self.stats.retried_shards += len(pending)
+                telemetry.event(
+                    "resilience.retry_round",
+                    round=round_index,
+                    shards=len(pending),
+                )
                 for shard_index in sorted(pending):
                     pending[shard_index].attempt += 1
             assignments = self._assign(sorted(pending))
@@ -348,6 +356,12 @@ class ResilientDispatcher:
                     continue
                 self.stats.worker_failures += 1
                 last_cause = value
+                telemetry.event(
+                    "resilience.failure",
+                    shard=shard_index,
+                    classified=classify_failure(value),
+                    error=type(value).__name__,
+                )
                 if classify_failure(value) == INFRASTRUCTURE:
                     if isinstance(value, ShardDeadlineExceeded):
                         self.stats.deadline_timeouts += 1
@@ -438,16 +452,18 @@ class ResilientDispatcher:
             for pool in sorted(set(assignments[s] for s in real))
         )
         effective = deadline * max(1, busiest)
-        # repro: ignore[det-monotonic-flow] -- watchdog wait time feeds the
-        # watchdog_wait_seconds stats counter only, never a score
-        started = time.perf_counter()
+        started = clock.monotonic()
         done, not_done = wait(list(real.values()), timeout=effective)
-        # repro: ignore[det-monotonic-flow] -- same stats-only timing sink
-        self.stats.watchdog_wait_seconds += time.perf_counter() - started
+        self.stats.watchdog_wait_seconds += clock.monotonic() - started
         for shard_index in sorted(real):
             future = real[shard_index]
             if future in not_done:
                 future.cancel()
+                telemetry.event(
+                    "resilience.deadline_timeout",
+                    shard=shard_index,
+                    budget_seconds=effective,
+                )
                 outcomes[shard_index] = (
                     "error",
                     ShardDeadlineExceeded(
@@ -471,3 +487,4 @@ class ResilientDispatcher:
         for pool_index in killed:
             if self.pools.respawn_in_background(pool_index, self.ping_fn):
                 self.stats.respawned_pools += 1
+                telemetry.event("resilience.respawn", pool=pool_index)

@@ -61,7 +61,6 @@ generations.
 from __future__ import annotations
 
 import dataclasses
-import time
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -70,6 +69,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..utils.rng import ensure_rng
+from .. import telemetry
+from ..telemetry.spans import SpanRecord
 from .cache import ParametricCacheStats, TranspileCacheStats, stable_seed
 from .engine import ExecutionEngine, ExecutionStats
 from .faults import FaultInjector, FaultPlan
@@ -175,8 +176,12 @@ class _ShardResult:
     parametric_stats: ParametricCacheStats
     bound_entries: list
     parametric_entries: dict
-    elapsed_seconds: float
+    elapsed_seconds: float = 0.0
     attempt: int = 0
+    #: the worker-side telemetry spans for this shard (always captured —
+    #: the parent re-ids them into its tracer when tracing is active and
+    #: drops them otherwise; see ``_WorkerContext.run``)
+    spans: List[SpanRecord] = field(default_factory=list)
 
 
 # ---------------------------------------------------------------------------
@@ -208,8 +213,34 @@ class _WorkerContext:
             )
 
     def run(self, task: _ShardTask) -> _ShardResult:
+        """Evaluate one shard task, always under a telemetry capture.
+
+        The capture runs whether or not tracing was requested — the traced
+        and untraced paths are the same code, which is what makes the
+        on/off bitwise determinism matrix hold by construction.  The root
+        ``worker.shard`` span's duration doubles as the shard's
+        ``elapsed_seconds`` report.
+        """
         self._fire(task, "task_receive")
-        start = time.perf_counter()
+        tracer = telemetry.get_tracer()
+        with tracer.capture() as spans:
+            with tracer.span(
+                "worker.shard",
+                shard=task.shard_index,
+                generation=task.generation,
+                attempt=task.attempt,
+                tenant=task.tenant,
+            ):
+                result = self._evaluate(task)
+        # observation-only payload riding home on the result: the parent
+        # adopts the spans (or drops them) and reports elapsed_seconds —
+        # nothing here feeds scores, seeds or scheduling
+        result.spans = spans
+        result.elapsed_seconds = spans[-1].duration
+        self._fire(task, "result_send")
+        return result  # repro: ignore[telemetry-flow] -- span buffer + root-span elapsed ride the shard result as its observational timing report
+
+    def _evaluate(self, task: _ShardTask) -> _ShardResult:
         if not np.array_equal(self.supercircuit.parameters, task.parameters):
             self.supercircuit.parameters = np.array(task.parameters, dtype=float)
         estimator = self.estimator
@@ -262,7 +293,6 @@ class _WorkerContext:
         self.exported_structures, self.exported_parametric_bound = (
             estimator.parametric_transpile_cache.export_keys()
         )
-        self._fire(task, "result_send")
         return _ShardResult(
             shard_index=task.shard_index,
             n_groups=len(task.groups),
@@ -277,8 +307,6 @@ class _WorkerContext:
             ),
             bound_entries=bound_entries,
             parametric_entries=parametric_entries,
-            # repro: ignore[det-monotonic-flow] -- per-shard timing report only
-            elapsed_seconds=time.perf_counter() - start,
             attempt=task.attempt,
         )
 
@@ -554,23 +582,35 @@ class ShardedExecutionEngine(ExecutionEngine):
         generation = self.scheduler_stats.generations
         self.scheduler_stats.generations += 1
         self._current_generation = generation
-        if len(shards) <= 1:
-            self.scheduler_stats.in_process_generations += 1
-            self.last_shard_reports = []
-            return self._evaluate_in_process(candidates, groups, in_process_fn)
-        populations_before = self.stats.populations
-        candidates_before = self.stats.candidates
-        try:
-            results, confirmed = self._run_resilient(
-                candidates, shards, payload, generation, in_process_fn
+        with telemetry.span(
+            "scheduler.generation",
+            generation=generation,
+            shards=len(shards),
+            candidates=len(candidates),
+            tenant=self.tenant,
+        ):
+            if len(shards) <= 1:
+                self.scheduler_stats.in_process_generations += 1
+                self.last_shard_reports = []
+                return self._evaluate_in_process(
+                    candidates, groups, in_process_fn
+                )
+            populations_before = self.stats.populations
+            candidates_before = self.stats.candidates
+            try:
+                results, confirmed = self._run_resilient(
+                    candidates, shards, payload, generation, in_process_fn
+                )
+            except RetriesExhausted as exc:
+                self._degrade(exc)
+                return self._evaluate_in_process(
+                    candidates, groups, in_process_fn
+                )
+            self.scheduler_stats.sharded_generations += 1
+            return self._merge_generation(
+                candidates, results, confirmed,
+                populations_before, candidates_before,
             )
-        except RetriesExhausted as exc:
-            self._degrade(exc)
-            return self._evaluate_in_process(candidates, groups, in_process_fn)
-        self.scheduler_stats.sharded_generations += 1
-        return self._merge_generation(
-            candidates, results, confirmed, populations_before, candidates_before
-        )
 
     def _plan_groups(self, candidates: list) -> "OrderedDict[Tuple, List[int]]":
         """Population indices per structure group (genome gene), stably keyed."""
@@ -707,6 +747,11 @@ class ShardedExecutionEngine(ExecutionEngine):
 
     def _merge_shard(self, result: _ShardResult, reports: List[dict]) -> None:
         estimator = self.estimator
+        if result.spans:
+            # re-id the worker's span buffer into the parent tracer, hanging
+            # its roots under the open scheduler.generation span (a no-op
+            # when tracing is inactive — the buffer is simply dropped)
+            telemetry.adopt_spans(result.spans)
         self.stats.merge(result.engine_stats)
         estimator.num_queries += result.num_queries
         estimator._backend.record_executions(result.backend_executions)

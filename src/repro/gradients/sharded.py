@@ -48,13 +48,14 @@ step but never change a gradient.
 
 from __future__ import annotations
 
-import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import telemetry
+from ..telemetry.spans import SpanRecord
 from ..execution.cache import ParametricCacheStats, TranspileCacheStats
 from ..execution.faults import FaultInjector, FaultPlan
 from ..execution.resilience import (
@@ -141,8 +142,12 @@ class _GradientShardResult:
     parametric_stats: ParametricCacheStats
     bound_entries: list
     parametric_entries: dict
-    elapsed_seconds: float
+    elapsed_seconds: float = 0.0
     attempt: int = 0
+    #: the worker-side telemetry spans for this shard (always captured —
+    #: the parent re-ids them into its tracer when tracing is active and
+    #: drops them otherwise; see ``_GradientWorkerContext.run``)
+    spans: List[SpanRecord] = field(default_factory=list)
 
 
 # ---------------------------------------------------------------------------
@@ -185,8 +190,30 @@ class _GradientWorkerContext:
         )
 
     def run(self, task: _GradientShardTask) -> _GradientShardResult:
+        """Evaluate one shard task, always under a telemetry capture.
+
+        Mirrors ``_WorkerContext.run``: the capture runs whether or not
+        tracing was requested, and the root ``worker.gradient_shard``
+        span's duration doubles as the shard's ``elapsed_seconds`` report.
+        """
         self._fire(task, "task_receive")
-        start = time.perf_counter()
+        tracer = telemetry.get_tracer()
+        with tracer.capture() as spans:
+            with tracer.span(
+                "worker.gradient_shard",
+                shard=task.shard_index,
+                step=task.generation,
+                attempt=task.attempt,
+            ):
+                result = self._execute(task)
+        # observation-only payload riding home on the result — nothing here
+        # feeds gradient values, seeds or scheduling
+        result.spans = spans
+        result.elapsed_seconds = spans[-1].duration
+        self._fire(task, "result_send")
+        return result  # repro: ignore[telemetry-flow] -- span buffer + root-span elapsed ride the shard result as its observational timing report
+
+    def _execute(self, task: _GradientShardTask) -> _GradientShardResult:
         engine = self.engine
         engine_before = engine.stats.copy()
         bound_before = engine.transpile_cache.stats.copy()
@@ -216,7 +243,6 @@ class _GradientWorkerContext:
         self.exported_structures, self.exported_parametric_bound = (
             engine.parametric_transpile_cache.export_keys()
         )
-        self._fire(task, "result_send")
         return _GradientShardResult(
             shard_index=task.shard_index,
             values=values,
@@ -227,8 +253,6 @@ class _GradientWorkerContext:
             ),
             bound_entries=bound_entries,
             parametric_entries=parametric_entries,
-            # repro: ignore[det-monotonic-flow] -- per-shard timing report only
-            elapsed_seconds=time.perf_counter() - start,
             attempt=task.attempt,
         )
 
@@ -468,16 +492,20 @@ class ShardedGradientEngine:
             return in_process(all_rows)
 
         splits = np.array_split(all_rows, shard_count)
-        try:
-            results, confirmed = self._run_resilient(
-                kind, circuit, rows, labels, witness, features, plan,
-                splits, step, in_process,
-            )
-        except RetriesExhausted as exc:
-            self._degrade(exc)
-            return in_process(all_rows)
-        self.scheduler_stats.sharded_steps += 1
-        return self._merge_results(results, confirmed, splits, rows.shape)
+        with telemetry.span(
+            "gradient.step",
+            step=step, kind=kind, shards=shard_count, rows=int(n_rows),
+        ):
+            try:
+                results, confirmed = self._run_resilient(
+                    kind, circuit, rows, labels, witness, features, plan,
+                    splits, step, in_process,
+                )
+            except RetriesExhausted as exc:
+                self._degrade(exc)
+                return in_process(all_rows)
+            self.scheduler_stats.sharded_steps += 1
+            return self._merge_results(results, confirmed, splits, rows.shape)
 
     def _run_resilient(
         self, kind, circuit, rows, labels, witness, features, plan,
@@ -563,6 +591,10 @@ class ShardedGradientEngine:
     def _merge_shard(
         self, result: _GradientShardResult, reports: List[dict]
     ) -> None:
+        if result.spans:
+            # re-parent the worker's spans under the open gradient.step
+            # span; a no-op (dropped buffer) when tracing is inactive
+            telemetry.adopt_spans(result.spans)
         self.engine.stats.merge(result.engine_stats)
         self.transpile_cache.stats.merge(result.bound_stats)
         self.parametric_transpile_cache.stats.merge(result.parametric_stats)

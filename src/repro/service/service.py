@@ -22,11 +22,12 @@ from __future__ import annotations
 
 import itertools
 import os
-import time
 import warnings
 from typing import Dict, List, Optional, Sequence
 
+from .. import telemetry
 from ..core.evolution import EvolutionResult
+from ..utils import clock
 from ..execution.resilience import WorkerPoolGroup
 from ..execution.scheduler import _init_service_worker
 from .jobs import JobHandle, SearchJob, TenantStats, _JobRuntime
@@ -151,7 +152,10 @@ class CoSearchService:
         round_index = self.rounds
         self.rounds += 1
         try:
-            self._step_runtime(runtime, stats)
+            with telemetry.span(
+                "service.round", tenant=handle.name, round=round_index
+            ):
+                self._step_runtime(runtime, stats)
         except Exception as exc:
             # tenant isolation: one job's bug must not take the service (and
             # every other tenant's search) down with it
@@ -186,13 +190,10 @@ class CoSearchService:
         engine_before = engine.stats.copy()
         bound_before = estimator.transpile_cache.stats.copy()
         parametric_before = estimator.parametric_transpile_cache.stats.copy()
-        # repro: ignore[det-monotonic-flow] -- feeds the simulator_seconds
-        # accounting only, never a score
-        started = time.perf_counter()
+        started = clock.monotonic()
         if not runtime.run.step():
             return
-        # repro: ignore[det-monotonic-flow] -- same stats-only timing sink
-        elapsed = time.perf_counter() - started
+        elapsed = clock.monotonic() - started
         sched = engine.scheduler_stats.diff(sched_before)
         engine_delta = engine.stats.diff(engine_before)
         bound = estimator.transpile_cache.stats.diff(bound_before)
@@ -216,6 +217,23 @@ class CoSearchService:
             report["elapsed_seconds"] for report in engine.last_shard_reports
         )
         stats.simulator_seconds += shard_seconds if shard_seconds else elapsed
+        # observation-only mirror of the deltas into the metrics registry —
+        # the same numbers TenantStats accumulates, queryable per tenant
+        metrics = telemetry.get_metrics()
+        tenant = runtime.job.name
+        metrics.counter("service_generations_total", tenant=tenant).inc()
+        metrics.counter("service_candidates_total", tenant=tenant).inc(
+            engine_delta.candidates
+        )
+        metrics.counter("service_cache_hits_total", tenant=tenant).inc(
+            bound.hits + parametric.structure_hits + parametric.bind_hits
+        )
+        metrics.counter("service_cache_misses_total", tenant=tenant).inc(
+            bound.misses + parametric.structure_misses + parametric.bind_misses
+        )
+        metrics.counter("service_simulator_seconds_total", tenant=tenant).inc(
+            shard_seconds if shard_seconds else elapsed
+        )
 
     def _retire(self, name: str) -> None:
         runtime = self._runtimes.pop(name, None)

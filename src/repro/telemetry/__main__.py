@@ -1,0 +1,182 @@
+"""Trace summarizer: ``python -m repro.telemetry summarize <trace.jsonl>``.
+
+Renders a recorded JSONL trace (``REPRO_TRACE=<path>``) as:
+
+* **top spans** — grouped by span name: count, total/mean/max seconds;
+* **per-tenant** — ``service.round`` spans grouped by tenant attribute;
+* **per-shard** — ``worker.*`` spans grouped by shard index;
+* **per-phase** — spans carrying a ``phase`` attribute (schedule /
+  simulate / score / ...) grouped by phase;
+* **critical path** — for each ``scheduler.generation`` span, the
+  longest-duration child chain (where the generation's wall time went).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from ..utils.tables import print_table
+from .export import read_trace
+from .spans import SpanRecord
+
+__all__ = ["main", "summarize"]
+
+#: span names whose instances represent one worker shard execution
+_WORKER_SPAN_NAMES = ("worker.shard", "worker.gradient_shard")
+
+
+def _by_name(records: Sequence[SpanRecord]) -> Dict[str, List[SpanRecord]]:
+    groups: Dict[str, List[SpanRecord]] = defaultdict(list)
+    for record in records:
+        groups[record.name].append(record)
+    return groups
+
+
+def _grouped_rows(groups: Dict[str, List[SpanRecord]]) -> List[List[object]]:
+    rows = []
+    for name, spans in groups.items():
+        total = sum(s.duration for s in spans)
+        rows.append([
+            name,
+            len(spans),
+            total,
+            total / len(spans),
+            max(s.duration for s in spans),
+        ])
+    rows.sort(key=lambda row: -row[2])
+    return rows
+
+
+def _critical_path(
+    root: SpanRecord, children: Dict[Optional[int], List[SpanRecord]]
+) -> List[SpanRecord]:
+    path = []
+    current = root
+    while True:
+        kids = children.get(current.span_id)
+        if not kids:
+            return path
+        current = max(kids, key=lambda s: s.duration)
+        path.append(current)
+
+
+def summarize(path: str, top: int = 15, generations: int = 8) -> None:
+    records = read_trace(path)
+    if not records:
+        print(f"{path}: empty trace")
+        return
+    print(f"{path}: {len(records)} spans")
+
+    groups = _by_name(records)
+    print_table(
+        ["span", "count", "total s", "mean s", "max s"],
+        _grouped_rows(groups)[:top],
+        title=f"Top spans by total duration (of {len(groups)} span names)",
+    )
+
+    tenants: Dict[str, List[SpanRecord]] = defaultdict(list)
+    for record in groups.get("service.round", []):
+        tenants[str(record.attributes.get("tenant", "?"))].append(record)
+    if tenants:
+        print_table(
+            ["tenant", "rounds", "total s", "mean round s"],
+            [
+                [
+                    tenant,
+                    len(rounds),
+                    sum(r.duration for r in rounds),
+                    sum(r.duration for r in rounds) / len(rounds),
+                ]
+                for tenant, rounds in sorted(tenants.items())
+            ],
+            title="Per-tenant service rounds",
+        )
+
+    shards: Dict[str, List[SpanRecord]] = defaultdict(list)
+    for name in _WORKER_SPAN_NAMES:
+        for record in groups.get(name, []):
+            shards[str(record.attributes.get("shard", "?"))].append(record)
+    if shards:
+        print_table(
+            ["shard", "executions", "total s", "mean s"],
+            [
+                [
+                    shard,
+                    len(spans),
+                    sum(s.duration for s in spans),
+                    sum(s.duration for s in spans) / len(spans),
+                ]
+                for shard, spans in sorted(shards.items())
+            ],
+            title="Per-shard worker executions",
+        )
+
+    phases: Dict[str, List[SpanRecord]] = defaultdict(list)
+    for record in records:
+        phase = record.attributes.get("phase")
+        if phase is not None:
+            phases[str(phase)].append(record)
+    if phases:
+        print_table(
+            ["phase", "count", "total s", "mean s"],
+            [
+                [
+                    phase,
+                    len(spans),
+                    sum(s.duration for s in spans),
+                    sum(s.duration for s in spans) / len(spans),
+                ]
+                for phase, spans in sorted(phases.items())
+            ],
+            title="Per-phase engine breakdown",
+        )
+
+    children: Dict[Optional[int], List[SpanRecord]] = defaultdict(list)
+    for record in records:
+        children[record.parent_id].append(record)
+    generation_spans = groups.get("scheduler.generation", [])
+    if generation_spans:
+        rows = []
+        for record in generation_spans[-generations:]:
+            chain = _critical_path(record, children)
+            rows.append([
+                record.attributes.get("generation", "?"),
+                record.duration,
+                " > ".join(
+                    f"{s.name}[{s.duration:.4f}s]" for s in chain
+                ) or "(leaf)",
+            ])
+        print_table(
+            ["generation", "wall s", "critical path (longest child chain)"],
+            rows,
+            title=f"Critical path per generation (last {len(rows)})",
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Summarize a REPRO_TRACE JSONL span trace.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    cmd = commands.add_parser("summarize", help="render trace breakdowns")
+    cmd.add_argument("trace", help="path to the JSONL trace file")
+    cmd.add_argument("--top", type=int, default=15,
+                     help="span-name rows in the top-spans table")
+    cmd.add_argument("--generations", type=int, default=8,
+                     help="generations in the critical-path table")
+    options = parser.parse_args(argv)
+    try:
+        summarize(options.trace, top=options.top,
+                  generations=options.generations)
+    except BrokenPipeError:
+        # reading end closed early (e.g. `... | head`); not an error
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The sanctioned monotonic-clock seam.
+
+Every duration measured inside the ``repro`` package — cache compile/bind
+timers, shard wall clocks, watchdog waits, telemetry spans — reads the
+clock through :func:`monotonic`.  Centralizing the read buys two things:
+
+* **One audited suppression instead of many.**  The determinism lint
+  (``det-monotonic-flow``) warns wherever a raw ``time.perf_counter()``
+  value flows beyond a plain local timestamp assignment.  Before this seam
+  existed, every stats sink carried its own per-site suppression; now the
+  single suppression lives here, and the *flow* policing moves to the
+  stricter ``telemetry-flow`` checker (:mod:`repro.analysis.telemetry`),
+  which errors if any clock/telemetry value escapes into a return value
+  outside the telemetry and stats layers.
+
+* **A single override point.**  Tests and future remote transports can
+  swap the reading (via :func:`set_clock`) without touching call sites —
+  durations are observational by contract, so swapping the clock must
+  never change a score.
+
+The contract this seam exists to protect: clock readings feed *stats and
+telemetry only*.  They must never influence scores, seeds, shard
+assignment or any other result a search returns.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["monotonic", "set_clock", "reset_clock"]
+
+#: a swapped-in reading (tests / simulated time), or None for the default
+_override: Optional[Callable[[], float]] = None
+
+
+def monotonic() -> float:
+    """Return the current monotonic timestamp in seconds.
+
+    The one sanctioned raw clock read in the package: the returned value
+    is observational (stats counters, telemetry spans) and must never flow
+    into scores, seeds or scheduling decisions — enforced by the
+    ``telemetry-flow`` analysis rule at every call site.
+    """
+    if _override is not None:
+        return _override()
+    # The seam's single audited escape: the reading leaves this function as
+    # a return value so no other module needs a per-site suppression.
+    return time.perf_counter()  # repro: ignore[det-monotonic-flow] -- the one sanctioned clock seam; call-site flow is policed by telemetry-flow
+
+
+def set_clock(reading: Callable[[], float]) -> None:
+    """Swap the clock reading (tests / simulated time).  Observation-only."""
+    global _override
+    _override = reading
+
+
+def reset_clock() -> None:
+    """Restore the default ``time.perf_counter`` reading."""
+    global _override
+    _override = None

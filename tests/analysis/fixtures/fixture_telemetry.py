@@ -1,0 +1,62 @@
+"""Deliberate telemetry-flow violations (and sanctioned shapes) for the lint.
+
+Each violation line carries an expect tag consumed by
+``tests/analysis/conftest.py``.  Untagged functions are the negative cases:
+observation that stays observation must not fire.
+"""
+
+from repro import telemetry
+from repro.utils import clock
+
+
+def returns_clock_directly():
+    return clock.monotonic()  # expect: telemetry-flow
+
+
+def returns_derived_elapsed():
+    started = clock.monotonic()
+    elapsed = clock.monotonic() - started
+    return elapsed  # expect: telemetry-flow
+
+
+def returns_captured_span_buffer():
+    tracer = telemetry.get_tracer()
+    with tracer.capture() as spans:
+        pass
+    return spans  # expect: telemetry-flow
+
+
+def returns_object_carrying_spans():
+    payload = {}
+    payload["spans"] = telemetry.get_tracer().records
+    return payload  # expect: telemetry-flow
+
+
+def returns_metric_value():
+    score = telemetry.get_metrics().value("service_generations_total")
+    return 1.0 + score  # expect: telemetry-flow
+
+
+class Report:
+    pass
+
+
+def sanctioned_observational_report():
+    report = Report()
+    report.elapsed = clock.monotonic()
+    return report  # repro: ignore[telemetry-flow] -- fixture: sanctioned observational report
+
+
+def observes_without_returning():
+    with telemetry.span("fixture.work", kind="negative"):
+        result = 2 + 2
+    return result
+
+
+class StatsSink:
+    def timed_lookup(self, table, key):
+        # self-attribute accumulation is the sanctioned stats sink shape
+        started = clock.monotonic()
+        value = table[key]
+        self.stats_seconds += clock.monotonic() - started
+        return value

@@ -1,0 +1,47 @@
+"""The telemetry-flow checker fires exactly the flows its fixture tags."""
+
+import pytest
+
+from repro.analysis import Severity, analyze_paths
+
+
+@pytest.fixture(scope="module")
+def report(fixtures_dir):
+    return analyze_paths(
+        [fixtures_dir / "fixture_telemetry.py"], checkers=["telemetry"]
+    )
+
+
+def test_findings_match_expect_tags(report, expected_findings, fixtures_dir):
+    expected = expected_findings(fixtures_dir / "fixture_telemetry.py")
+    actual = {(f.line, f.rule) for f in report.findings}
+    assert actual == expected
+
+
+def test_rule_is_an_error(report):
+    assert report.findings
+    assert all(f.severity == Severity.ERROR for f in report.findings)
+    assert all(f.rule == "telemetry-flow" for f in report.findings)
+
+
+def test_findings_carry_fix_hints(report):
+    assert all(f.hint for f in report.findings)
+
+
+def test_sanctioned_report_suppression_is_live(report):
+    suppressed = {f.rule for f in report.suppressed}
+    assert suppressed == {"telemetry-flow"}
+    assert len(report.suppressed) == 1
+
+
+def test_telemetry_package_itself_is_exempt():
+    from pathlib import Path
+
+    import repro.telemetry
+
+    package_dir = Path(repro.telemetry.__file__).parent
+    clock_path = package_dir.parent / "utils" / "clock.py"
+    exempt_report = analyze_paths(
+        [package_dir, clock_path], checkers=["telemetry"]
+    )
+    assert exempt_report.findings == []

@@ -1,0 +1,31 @@
+"""Shared fixtures for the telemetry tests.
+
+The instrumentation records into the process-global tracer/metrics, so the
+integration tests that turn tracing on must save and restore that global
+state — the suite may itself be running under ``REPRO_TRACE`` (the CI
+telemetry lane does exactly that), and these tests must not silently
+disarm it for everything that runs after them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture
+def clean_telemetry():
+    """Detached, disabled, empty global telemetry; prior state restored."""
+    tracer = telemetry.get_tracer()
+    saved_enabled = tracer.enabled
+    saved_writer = tracer.writer
+    tracer.enabled = False
+    tracer.writer = None
+    telemetry.reset()
+    try:
+        yield telemetry
+    finally:
+        telemetry.reset()
+        tracer.enabled = saved_enabled
+        tracer.writer = saved_writer

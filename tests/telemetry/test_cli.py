@@ -1,0 +1,55 @@
+"""The ``python -m repro.telemetry summarize`` trace report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.__main__ import main, summarize
+from repro.telemetry.export import TraceWriter
+from repro.telemetry.spans import Tracer
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    """A small synthetic trace with every summarizable span family."""
+    path = str(tmp_path / "trace.jsonl")
+    tracer = Tracer()
+    tracer.enabled = True
+    tracer.writer = TraceWriter(path)
+    with tracer.span("service.round", tenant="tenant-a", round=0):
+        with tracer.span("engine.population", kind="qml", candidates=4):
+            with tracer.span("scheduler.generation", generation=0, shards=2):
+                with tracer.span("worker.shard", shard=0):
+                    with tracer.span("engine.phase", phase="simulate"):
+                        pass
+                with tracer.span("worker.shard", shard=1):
+                    with tracer.span("engine.phase", phase="score"):
+                        pass
+    with tracer.span("service.round", tenant="tenant-b", round=1):
+        pass
+    tracer.writer.close()
+    return path
+
+
+class TestSummarize:
+    def test_reports_every_breakdown(self, trace_path, capsys):
+        summarize(trace_path)
+        out = capsys.readouterr().out
+        assert "Top spans by total duration" in out
+        assert "Per-tenant service rounds" in out
+        assert "tenant-a" in out and "tenant-b" in out
+        assert "Per-shard worker executions" in out
+        assert "Per-phase engine breakdown" in out
+        assert "simulate" in out and "score" in out
+        assert "Critical path per generation" in out
+        assert "worker.shard" in out
+
+    def test_main_entrypoint_parses_args(self, trace_path, capsys):
+        assert main(["summarize", trace_path, "--top", "3"]) == 0
+        assert "spans" in capsys.readouterr().out
+
+    def test_empty_trace_is_reported_not_crashed(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        summarize(str(path))
+        assert "empty trace" in capsys.readouterr().out

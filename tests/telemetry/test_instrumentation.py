@@ -1,0 +1,241 @@
+"""Instrumentation integration: spans appear, numbers never change.
+
+The two halves of the telemetry acceptance contract:
+
+* **coverage** — a traced sharded run produces the expected span tree:
+  ``scheduler.generation`` roots, worker shard spans re-parented under
+  them (after riding home inside ``_ShardResult`` payloads), engine
+  phase spans, and per-tenant ``service.round`` spans with metrics;
+* **observation-only** — scores are *bitwise* identical with tracing on
+  and off, across workers 1 / 2 / 4, for the QML and VQE execution paths
+  and for sharded gradient training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core import get_design_space
+from repro.core.estimator import EstimatorConfig, PerformanceEstimator
+from repro.execution import ShardedExecutionEngine
+from repro.qml import (
+    ParameterShiftGradient,
+    QNNModel,
+    TrainConfig,
+    encoder_for_task,
+    make_classification_dataset,
+    train_qnn,
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def sharded_engine(device, supercircuit, mode, n_valid, workers):
+    estimator = PerformanceEstimator(
+        device,
+        EstimatorConfig(
+            mode=mode,
+            n_valid_samples=n_valid,
+            workers=workers,
+            shard_min_group_size=1,
+        ),
+    )
+    return ShardedExecutionEngine(estimator, supercircuit)
+
+
+def qml_population(device, seed=11, size=4, n_qubits=4):
+    from repro.core import EvolutionConfig, EvolutionEngine
+
+    space = get_design_space("u3cu3")
+    evolution = EvolutionEngine(
+        space, n_qubits, device, EvolutionConfig(seed=seed)
+    )
+    return [evolution.random_candidate() for _ in range(size)]
+
+
+def evaluate_qml(device, supercircuit, dataset, workers):
+    engine = sharded_engine(device, supercircuit, "noise_sim", 3, workers)
+    try:
+        return engine.evaluate_qml_population(
+            qml_population(device), dataset, 4
+        )
+    finally:
+        engine.close()
+
+
+def evaluate_vqe(workers):
+    from repro.core import SuperCircuit
+    from repro.devices import get_device
+    from repro.vqe import load_molecule
+
+    molecule = load_molecule("h2")
+    device = get_device("yorktown")
+    space = get_design_space("u3cu3")
+    supercircuit = SuperCircuit(space, molecule.n_qubits, encoder=None, seed=3)
+    engine = sharded_engine(device, supercircuit, "noise_sim", 3, workers)
+    try:
+        return engine.evaluate_vqe_population(
+            qml_population(device, seed=7, size=3, n_qubits=molecule.n_qubits),
+            molecule,
+        )
+    finally:
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Coverage: the span tree a traced run produces
+# ---------------------------------------------------------------------------
+
+
+class TestSpanCoverage:
+    def test_worker_spans_reparent_under_the_generation_span(
+        self, clean_telemetry, u3cu3_supercircuit, yorktown, tiny_dataset
+    ):
+        telemetry.configure(enabled=True)
+        evaluate_qml(yorktown, u3cu3_supercircuit, tiny_dataset, workers=2)
+        records = telemetry.get_tracer().records
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record.name, []).append(record)
+
+        assert "engine.population" in by_name
+        assert "scheduler.generation" in by_name
+        generation_ids = {
+            r.span_id for r in by_name["scheduler.generation"]
+        }
+        worker_spans = by_name["worker.shard"]
+        assert worker_spans, "worker spans should ride home and be adopted"
+        for span in worker_spans:
+            assert span.parent_id in generation_ids
+            assert "shard" in span.attributes
+        # worker-side evaluation arrives nested under the worker span:
+        # worker.shard > engine.population > engine.phase
+        worker_ids = {r.span_id for r in worker_spans}
+        population_spans = [
+            r for r in by_name["engine.population"]
+            if r.parent_id in worker_ids
+        ]
+        assert population_spans
+        population_ids = {r.span_id for r in population_spans}
+        phase_spans = by_name.get("engine.phase", [])
+        assert any(r.parent_id in population_ids for r in phase_spans)
+
+    def test_phase_histogram_observed(
+        self, clean_telemetry, u3cu3_supercircuit, yorktown, tiny_dataset
+    ):
+        telemetry.configure(enabled=True)
+        evaluate_qml(yorktown, u3cu3_supercircuit, tiny_dataset, workers=1)
+        snapshot = telemetry.get_metrics().snapshot()
+        phases = snapshot["histograms"].get("engine_phase_seconds", {})
+        observed = {labels for labels in phases}
+        assert "phase=schedule" in observed
+        assert "phase=simulate" in observed
+        assert "phase=score" in observed
+
+    def test_untraced_run_records_nothing(
+        self, clean_telemetry, u3cu3_supercircuit, yorktown, tiny_dataset
+    ):
+        evaluate_qml(yorktown, u3cu3_supercircuit, tiny_dataset, workers=2)
+        assert telemetry.get_tracer().records == []
+
+    def test_trace_file_written_for_sharded_run(
+        self, clean_telemetry, u3cu3_supercircuit, yorktown, tiny_dataset,
+        tmp_path,
+    ):
+        from repro.telemetry.export import read_trace
+
+        path = str(tmp_path / "trace.jsonl")
+        telemetry.configure(trace_path=path)
+        evaluate_qml(yorktown, u3cu3_supercircuit, tiny_dataset, workers=2)
+        telemetry.disable()
+        names = {record.name for record in read_trace(path)}
+        assert {"scheduler.generation", "worker.shard"} <= names
+
+
+# ---------------------------------------------------------------------------
+# Observation-only: bitwise on/off x workers matrix
+# ---------------------------------------------------------------------------
+
+
+class TestBitwiseOnOffMatrix:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_qml_scores_identical_with_tracing_on_and_off(
+        self, clean_telemetry, u3cu3_supercircuit, yorktown, tiny_dataset,
+        workers,
+    ):
+        off = evaluate_qml(yorktown, u3cu3_supercircuit, tiny_dataset, workers)
+        telemetry.configure(enabled=True)
+        on = evaluate_qml(yorktown, u3cu3_supercircuit, tiny_dataset, workers)
+        assert on == off
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_vqe_scores_identical_with_tracing_on_and_off(
+        self, clean_telemetry, workers
+    ):
+        off = evaluate_vqe(workers)
+        telemetry.configure(enabled=True)
+        on = evaluate_vqe(workers)
+        assert on == off
+
+    def test_traced_scores_identical_across_worker_counts(
+        self, clean_telemetry, u3cu3_supercircuit, yorktown, tiny_dataset
+    ):
+        telemetry.configure(enabled=True)
+        scores = {
+            workers: evaluate_qml(
+                yorktown, u3cu3_supercircuit, tiny_dataset, workers
+            )
+            for workers in WORKER_COUNTS
+        }
+        assert scores[1] == scores[2] == scores[4]
+
+
+class TestGradientMatrix:
+    @pytest.fixture(scope="class")
+    def gradient_dataset(self):
+        return make_classification_dataset(
+            "telemetry-2", n_classes=2, n_features=16,
+            n_train=8, n_valid=4, n_test=4, image_side=4, seed=5,
+        )
+
+    @staticmethod
+    def train(dataset, workers):
+        model = QNNModel(4, 2, encoder=encoder_for_task("mnist-2"))
+        for qubit in range(4):
+            model.add_trainable("ry", (qubit,))
+        config = TrainConfig(epochs=1, batch_size=4, learning_rate=0.1, seed=0)
+        gradient = ParameterShiftGradient(
+            None, workers=workers, engine="sequential", seed=0
+        )
+        with gradient:
+            return train_qnn(model, dataset, config, gradient_fn=gradient)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_weights_identical_with_tracing_on_and_off(
+        self, clean_telemetry, gradient_dataset, workers
+    ):
+        off = self.train(gradient_dataset, workers)
+        telemetry.configure(enabled=True)
+        on = self.train(gradient_dataset, workers)
+        assert np.array_equal(on.weights, off.weights)
+        assert [h["train_loss"] for h in on.history] == [
+            h["train_loss"] for h in off.history
+        ]
+
+    def test_gradient_worker_spans_reparent_under_the_step_span(
+        self, clean_telemetry, gradient_dataset
+    ):
+        telemetry.configure(enabled=True)
+        self.train(gradient_dataset, workers=2)
+        records = telemetry.get_tracer().records
+        steps = {
+            r.span_id for r in records if r.name == "gradient.step"
+        }
+        worker_spans = [
+            r for r in records if r.name == "worker.gradient_shard"
+        ]
+        assert worker_spans
+        for span in worker_spans:
+            assert span.parent_id in steps

@@ -1,0 +1,96 @@
+"""Per-tenant service telemetry: round spans + always-on metric counters."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import telemetry
+from repro.core.estimator import EstimatorConfig
+from repro.core.evolution import EvolutionConfig
+from repro.qml import encoder_for_task
+from repro.service import CoSearchService, SearchJob
+
+EVOLUTION = EvolutionConfig(
+    iterations=2,
+    population_size=6,
+    parent_size=3,
+    mutation_size=2,
+    crossover_size=1,
+    seed=5,
+)
+ESTIMATOR = EstimatorConfig(
+    mode="success_rate", workers=1, shard_min_group_size=1, n_valid_samples=8
+)
+
+
+def qml_job(name, dataset, seed):
+    return SearchJob(
+        name=name,
+        kind="qml",
+        space="u3cu3",
+        device="yorktown",
+        n_qubits=4,
+        evolution=dataclasses.replace(EVOLUTION, seed=seed),
+        estimator=ESTIMATOR,
+        dataset=dataset,
+        n_classes=4,
+        encoder=encoder_for_task("mnist-4"),
+        seed=3,
+    )
+
+
+@pytest.fixture
+def finished_service(clean_telemetry, tiny_dataset):
+    telemetry.configure(enabled=True)
+    with CoSearchService(max_workers=1, max_concurrent_jobs=2) as service:
+        service.submit(qml_job("tenant-a", tiny_dataset, seed=5))
+        service.submit(qml_job("tenant-b", tiny_dataset, seed=9))
+        service.run()
+        yield service
+
+
+class TestServiceTelemetry:
+    def test_round_spans_carry_tenant_and_round(self, finished_service):
+        rounds = [
+            r for r in telemetry.get_tracer().records
+            if r.name == "service.round"
+        ]
+        assert len(rounds) == finished_service.rounds
+        tenants = {r.attributes["tenant"] for r in rounds}
+        assert tenants == {"tenant-a", "tenant-b"}
+        indices = sorted(r.attributes["round"] for r in rounds)
+        assert indices == list(range(finished_service.rounds))
+
+    def test_metric_counters_match_tenant_stats(self, finished_service):
+        metrics = telemetry.get_metrics()
+        for name, stats in finished_service.tenant_stats.items():
+            assert metrics.value(
+                "service_generations_total", tenant=name
+            ) == stats.generations
+            assert metrics.value(
+                "service_candidates_total", tenant=name
+            ) == stats.candidates
+            assert metrics.value(
+                "service_cache_hits_total", tenant=name
+            ) == stats.cache_hits
+            assert metrics.value(
+                "service_cache_misses_total", tenant=name
+            ) == stats.cache_misses
+            assert metrics.value(
+                "service_simulator_seconds_total", tenant=name
+            ) == pytest.approx(stats.simulator_seconds)
+
+    def test_counters_accumulate_with_tracing_disabled(
+        self, clean_telemetry, tiny_dataset
+    ):
+        # metrics are always-on: accounting survives without REPRO_TRACE
+        with CoSearchService(max_workers=1, max_concurrent_jobs=1) as service:
+            service.submit(qml_job("solo", tiny_dataset, seed=5))
+            service.run()
+            stats = service.tenant_stats["solo"]
+        assert telemetry.get_tracer().records == []
+        assert telemetry.get_metrics().value(
+            "service_generations_total", tenant="solo"
+        ) == stats.generations

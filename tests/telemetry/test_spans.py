@@ -1,0 +1,200 @@
+"""Span semantics: nesting, no-op mode, capture, adoption, the ring buffer.
+
+Everything here runs on *fresh* ``Tracer`` instances, never the process
+global — the suite itself may be running under ``REPRO_TRACE`` and these
+tests must not disturb (or depend on) the armed global tracer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.spans import SpanRecord, Tracer, _NoopSpan
+
+
+def enabled_tracer(**kwargs) -> Tracer:
+    tracer = Tracer(**kwargs)
+    tracer.enabled = True
+    return tracer
+
+
+class TestNesting:
+    def test_parent_links_follow_the_stack(self):
+        tracer = enabled_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.record.parent_id == outer.record.span_id
+            with tracer.span("sibling") as sibling:
+                assert sibling.record.parent_id == outer.record.span_id
+        assert outer.record.parent_id is None
+        # inner spans finish before their parent
+        names = [record.name for record in tracer.records]
+        assert names == ["inner", "sibling", "outer"]
+
+    def test_durations_are_non_negative_and_nested_within_parent(self):
+        tracer = enabled_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.records
+        assert inner.duration >= 0.0
+        assert outer.duration >= 0.0
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+
+    def test_span_ids_are_deterministic_small_integers(self):
+        tracer = enabled_tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.span_id for r in tracer.records] == [1, 2]
+        tracer.reset()
+        with tracer.span("c"):
+            pass
+        assert [r.span_id for r in tracer.records] == [1]
+
+    def test_current_span_id_tracks_the_open_span(self):
+        tracer = enabled_tracer()
+        assert tracer.current_span_id() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span_id() == outer.record.span_id
+        assert tracer.current_span_id() is None
+
+
+class TestAttributes:
+    def test_constructor_and_set_attributes_merge(self):
+        tracer = enabled_tracer()
+        with tracer.span("work", shard=3) as span:
+            span.set(rows=17)
+        (record,) = tracer.records
+        assert record.attributes == {"shard": 3, "rows": 17}
+
+    def test_event_records_a_zero_duration_span(self):
+        tracer = enabled_tracer()
+        with tracer.span("outer") as outer:
+            tracer.event("retry", round=1)
+        retry = tracer.records[0]
+        assert retry.name == "retry"
+        assert retry.duration == 0.0
+        assert retry.parent_id == outer.record.span_id
+        assert retry.attributes == {"round": 1}
+
+
+class TestInactive:
+    def test_disabled_tracer_returns_the_shared_noop(self):
+        tracer = Tracer()
+        span = tracer.span("work", shard=1)
+        assert isinstance(span, _NoopSpan)
+        assert tracer.span("other") is span
+        with span as active:
+            active.set(rows=1)
+            assert active.record is None
+        assert tracer.records == []
+
+    def test_disabled_event_records_nothing(self):
+        tracer = Tracer()
+        tracer.event("retry")
+        assert tracer.records == []
+
+    def test_capture_activates_a_disabled_tracer(self):
+        tracer = Tracer()
+        assert not tracer.active
+        with tracer.capture() as spans:
+            assert tracer.active
+            with tracer.span("work"):
+                pass
+        assert not tracer.active
+        assert [s.name for s in spans] == ["work"]
+
+
+class TestCapture:
+    def test_capture_collects_spans_finished_while_open(self):
+        tracer = enabled_tracer()
+        with tracer.span("before"):
+            pass
+        with tracer.capture() as spans:
+            with tracer.span("during"):
+                pass
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in spans] == ["during"]
+        assert [s.name for s in tracer.records] == ["before", "during", "after"]
+
+    def test_root_span_is_last_in_the_capture(self):
+        # the worker relies on this: elapsed_seconds = spans[-1].duration
+        tracer = Tracer()
+        with tracer.capture() as spans:
+            with tracer.span("root"):
+                with tracer.span("leaf"):
+                    pass
+        assert spans[-1].name == "root"
+        assert spans[-1].parent_id is None
+
+
+class TestAdoption:
+    def worker_buffer(self):
+        worker = Tracer()
+        with worker.capture() as spans:
+            with worker.span("worker.shard", shard=0):
+                with worker.span("cache.compile"):
+                    pass
+        return spans
+
+    def test_adopt_reassigns_ids_and_preserves_internal_links(self):
+        spans = self.worker_buffer()
+        parent = enabled_tracer()
+        with parent.span("scheduler.generation") as generation:
+            adopted = parent.adopt(spans)
+        by_name = {record.name: record for record in adopted}
+        root = by_name["worker.shard"]
+        leaf = by_name["cache.compile"]
+        assert root.parent_id == generation.record.span_id
+        assert leaf.parent_id == root.span_id
+        # fresh ids from the parent's own sequence, no collisions there
+        adopted_ids = {record.span_id for record in adopted}
+        assert len(adopted_ids) == len(adopted)
+        assert generation.record.span_id not in adopted_ids
+
+    def test_adopt_preserves_timestamps_and_attributes(self):
+        spans = self.worker_buffer()
+        parent = enabled_tracer()
+        adopted = parent.adopt(spans)
+        for original, copy in zip(spans, adopted):
+            assert copy.start == original.start
+            assert copy.end == original.end
+            assert copy.attributes == original.attributes
+
+    def test_adopt_on_inactive_tracer_drops_the_buffer(self):
+        spans = self.worker_buffer()
+        parent = Tracer()
+        assert parent.adopt(spans) == []
+        assert parent.records == []
+
+    def test_adopt_with_explicit_parent(self):
+        spans = self.worker_buffer()
+        parent = enabled_tracer()
+        adopted = parent.adopt(spans, parent_id=99)
+        root = next(r for r in adopted if r.name == "worker.shard")
+        assert root.parent_id == 99
+
+
+class TestRingBuffer:
+    def test_old_spans_fall_off_a_full_buffer(self):
+        tracer = enabled_tracer(max_spans=3)
+        for index in range(5):
+            with tracer.span(f"span-{index}"):
+                pass
+        assert [r.name for r in tracer.records] == ["span-2", "span-3", "span-4"]
+
+
+class TestSpanRecord:
+    def test_round_trips_through_dict(self):
+        record = SpanRecord(
+            name="work", span_id=7, parent_id=3,
+            start=1.0, end=2.5, attributes={"shard": 1},
+        )
+        payload = record.to_dict()
+        assert payload["duration"] == pytest.approx(1.5)
+        restored = SpanRecord.from_dict(payload)
+        assert restored == record

@@ -1,0 +1,84 @@
+"""JSONL trace export: round-trips, fork guards, the REPRO_TRACE wiring."""
+
+from __future__ import annotations
+
+import json
+
+from repro import telemetry
+from repro.telemetry.export import TraceWriter, read_trace
+from repro.telemetry.spans import SpanRecord, Tracer
+
+
+def make_record(span_id=1, name="work"):
+    return SpanRecord(
+        name=name, span_id=span_id, parent_id=None,
+        start=0.25, end=1.0, attributes={"shard": 0},
+    )
+
+
+class TestTraceWriter:
+    def test_round_trip_through_jsonl(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        writer = TraceWriter(path)
+        writer.write(make_record(1, "a"))
+        writer.write(make_record(2, "b"))
+        writer.close()
+        restored = read_trace(path)
+        assert [r.name for r in restored] == ["a", "b"]
+        assert restored[0] == make_record(1, "a")
+
+    def test_lines_are_sorted_json_objects(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        writer = TraceWriter(path)
+        writer.write(make_record())
+        writer.close()
+        (line,) = open(path).read().splitlines()
+        payload = json.loads(line)
+        assert list(payload) == sorted(payload)
+        assert payload["duration"] == 0.75
+
+    def test_foreign_pid_writes_are_dropped(self, tmp_path):
+        # simulate a forked child that inherited the parent's writer
+        path = str(tmp_path / "trace.jsonl")
+        writer = TraceWriter(path)
+        writer._pid = writer._pid + 1
+        writer.write(make_record())
+        writer.close()
+        assert writer._handle is None
+        # lazily opened: a writer that never wrote never created the file
+        assert not (tmp_path / "trace.jsonl").exists()
+
+    def test_writer_attached_to_a_tracer_streams_finished_spans(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer()
+        tracer.enabled = True
+        tracer.writer = TraceWriter(path)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tracer.writer.close()
+        assert [r.name for r in read_trace(path)] == ["inner", "outer"]
+
+
+class TestConfigure:
+    def test_configure_and_disable_manage_the_global_writer(
+        self, tmp_path, clean_telemetry
+    ):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = telemetry.configure(trace_path=path)
+        assert tracer is telemetry.get_tracer()
+        assert tracer.enabled
+        with telemetry.span("configured"):
+            pass
+        telemetry.disable()
+        assert tracer.writer is None
+        assert not tracer.enabled
+        assert [r.name for r in read_trace(path)] == ["configured"]
+
+    def test_tracing_requested_reads_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert telemetry.tracing_requested() is None
+        monkeypatch.setenv("REPRO_TRACE", "")
+        assert telemetry.tracing_requested() is None
+        monkeypatch.setenv("REPRO_TRACE", "out.jsonl")
+        assert telemetry.tracing_requested() == "out.jsonl"
